@@ -1,0 +1,59 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestAllIDsKnown(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range all() {
+		if seen[e.id] {
+			t.Errorf("duplicate experiment id %q", e.id)
+		}
+		seen[e.id] = true
+	}
+	// Every paper artifact must be present.
+	for _, id := range []string{
+		"motivation", "fig3", "fig6", "fig7", "fig8", "fig9",
+		"fig10", "fig11", "fig12", "fig13", "table1", "table2",
+	} {
+		if !seen[id] {
+			t.Errorf("missing experiment %q", id)
+		}
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-only", "motivation"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "slowdown") {
+		t.Errorf("motivation output incomplete:\n%s", buf.String())
+	}
+}
+
+func TestRunWritesOutdir(t *testing.T) {
+	dir := t.TempDir()
+	var buf strings.Builder
+	if err := run([]string{"-only", "table2", "-outdir", dir}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "table2.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "instrumentation points") {
+		t.Errorf("table2 report incomplete:\n%s", data)
+	}
+}
+
+func TestUnknownIDRejected(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-only", "nope"}, &buf); err == nil {
+		t.Fatal("unknown experiment id accepted")
+	}
+}

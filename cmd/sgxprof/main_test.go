@@ -1,0 +1,61 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestProfileOutput(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-bench", "deepsjeng"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"classification:", "large working set, irregular access",
+		"instrumented:", "irregular",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPatternDump(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-bench", "lbm", "-pattern"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "linear fit:") || !strings.Contains(out, "# index page") {
+		t.Errorf("pattern dump incomplete:\n%.400s", out)
+	}
+	// The dump must contain data lines.
+	lines := strings.Split(out, "\n")
+	var data int
+	for _, l := range lines {
+		if len(l) > 0 && l[0] >= '0' && l[0] <= '9' {
+			data++
+		}
+	}
+	if data < 100 {
+		t.Errorf("pattern dump has only %d data lines", data)
+	}
+}
+
+func TestRefInput(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-bench", "microbenchmark", "-input", "ref"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "ref input") {
+		t.Errorf("ref input not honored:\n%.200s", buf.String())
+	}
+}
+
+func TestUnknownBenchmark(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-bench", "nope"}, &buf); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}

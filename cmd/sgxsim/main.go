@@ -1,0 +1,161 @@
+// Command sgxsim runs one benchmark under one preloading scheme and
+// prints the run's metrics.
+//
+// Usage:
+//
+//	sgxsim -bench lbm -scheme dfp
+//	sgxsim -bench deepsjeng -scheme sip -threshold 0.05
+//	sgxsim -bench mixed-blood -scheme hybrid -epc 2048 -loadlength 4
+//	sgxsim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"sgxpreload/internal/core"
+	"sgxpreload/internal/dfp"
+	"sgxpreload/internal/epc"
+	"sgxpreload/internal/sim"
+	"sgxpreload/internal/sip"
+	"sgxpreload/internal/stats"
+	"sgxpreload/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "sgxsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("sgxsim", flag.ContinueOnError)
+	var (
+		bench      = fs.String("bench", "microbenchmark", "benchmark name (-list to enumerate)")
+		scheme     = fs.String("scheme", "baseline", "baseline | dfp | dfp-stop | sip | hybrid")
+		epcPages   = fs.Int("epc", 2048, "EPC capacity in 4KiB pages")
+		listLen    = fs.Int("streamlist", 30, "DFP stream_list length")
+		loadLength = fs.Int("loadlength", 4, "DFP preload distance (pages per prediction)")
+		threshold  = fs.Float64("threshold", 0.05, "SIP irregular-access-ratio threshold")
+		predictor  = fs.String("predictor", "multistream", "fault-history strategy: multistream | stride | markov | nextn")
+		policy     = fs.String("policy", "clock", "EPC eviction: clock | fifo | lru | random")
+		reclaim    = fs.Bool("reclaim", false, "enable the ksgxswapd-style background reclaimer")
+		compare    = fs.Bool("compare", false, "also run the baseline and report the improvement")
+		list       = fs.Bool("list", false, "list benchmarks and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, name := range workload.Names() {
+			w, _ := workload.ByName(name)
+			fmt.Fprintf(out, "%-16s %-38s %s, %d pages\n",
+				name, w.Category, w.Language, w.FootprintPages)
+		}
+		return nil
+	}
+
+	w, err := workload.ByName(*bench)
+	if err != nil {
+		return err
+	}
+	var sch sim.Scheme
+	switch strings.ToLower(*scheme) {
+	case "baseline":
+		sch = sim.Baseline
+	case "dfp":
+		sch = sim.DFP
+	case "dfp-stop", "dfpstop":
+		sch = sim.DFPStop
+	case "sip":
+		sch = sim.SIP
+	case "hybrid", "sip+dfp":
+		sch = sim.Hybrid
+	default:
+		return fmt.Errorf("unknown scheme %q", *scheme)
+	}
+
+	d := dfp.DefaultConfig()
+	d.StreamListLen = *listLen
+	d.LoadLength = *loadLength
+
+	var pol epc.Policy
+	switch strings.ToLower(*policy) {
+	case "clock":
+		pol = epc.PolicyClock
+	case "fifo":
+		pol = epc.PolicyFIFO
+	case "lru":
+		pol = epc.PolicyLRU
+	case "random":
+		pol = epc.PolicyRandom
+	default:
+		return fmt.Errorf("unknown eviction policy %q", *policy)
+	}
+
+	cfg := sim.Config{
+		Scheme:            sch,
+		EPCPages:          *epcPages,
+		ELRangePages:      w.ELRangePages(),
+		DFP:               d,
+		Predictor:         core.Kind(strings.ToLower(*predictor)),
+		EvictPolicy:       pol,
+		BackgroundReclaim: *reclaim,
+	}
+	if sch.UsesSIP() {
+		if !w.Instrumentable {
+			return fmt.Errorf("%s cannot be instrumented (%s)", w.Name, w.Language)
+		}
+		cl, err := sip.NewClassifier(*epcPages, w.ELRangePages(), d)
+		if err != nil {
+			return err
+		}
+		for _, a := range w.Generate(workload.Train) {
+			cl.Record(a.Site, a.Page)
+		}
+		sel := sip.Select(cl.Profile(), *threshold, 32)
+		cfg.Selection = sel
+		fmt.Fprintf(out, "SIP profile: %d instrumentation points at threshold %.0f%%\n",
+			sel.Points(), *threshold*100)
+	}
+
+	trace := w.Generate(workload.Ref)
+	res, err := sim.Run(trace, cfg)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "benchmark:        %s (%s)\n", w.Name, w.Category)
+	fmt.Fprintf(out, "scheme:           %s\n", res.Scheme)
+	fmt.Fprintf(out, "cycles:           %d\n", res.Cycles)
+	fmt.Fprintf(out, "accesses:         %d\n", res.Accesses)
+	fmt.Fprintf(out, "hits:             %d\n", res.Hits)
+	fmt.Fprintf(out, "demand faults:    %d\n", res.Kernel.DemandFaults)
+	fmt.Fprintf(out, "evictions:        %d\n", res.Kernel.Evictions)
+	fmt.Fprintf(out, "preloads started: %d (dropped %d)\n",
+		res.Kernel.PreloadsStarted, res.Kernel.PreloadsDropped)
+	fmt.Fprintf(out, "notify loads:     %d (hits %d)\n",
+		res.Kernel.NotifyLoads, res.Kernel.NotifyHits)
+	fmt.Fprintf(out, "fault cycles:     %d (%.1f%% of run)\n",
+		res.FaultCycles(), 100*float64(res.FaultCycles())/float64(res.Cycles))
+	if res.Kernel.DFPStopped {
+		fmt.Fprintf(out, "safety valve:     fired at cycle %d\n", res.Kernel.DFPStopCycle)
+	}
+
+	if *compare && sch != sim.Baseline {
+		bcfg := cfg
+		bcfg.Scheme = sim.Baseline
+		bcfg.Selection = nil
+		base, err := sim.Run(trace, bcfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "baseline cycles:  %d\n", base.Cycles)
+		fmt.Fprintf(out, "improvement:      %+.2f%%\n", stats.ImprovementPct(res.Cycles, base.Cycles))
+	}
+	return nil
+}

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestList(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-list"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"lbm", "mcf", "deepsjeng", "SIFT", "mixed-blood"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-list output missing %q", want)
+		}
+	}
+}
+
+func TestBaselineRun(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-bench", "cactuBSSN", "-scheme", "baseline"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"cycles:", "demand faults:", "cactuBSSN"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDFPCompare(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-bench", "microbenchmark", "-scheme", "dfp", "-compare"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "improvement:") {
+		t.Errorf("compare output missing improvement:\n%s", buf.String())
+	}
+}
+
+func TestSIPRun(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-bench", "deepsjeng", "-scheme", "sip"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "instrumentation points") || !strings.Contains(out, "notify loads:") {
+		t.Errorf("SIP output incomplete:\n%s", out)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	tests := [][]string{
+		{"-bench", "nope"},
+		{"-scheme", "nope"},
+		{"-bench", "bwaves", "-scheme", "sip"}, // Fortran: not instrumentable
+	}
+	for _, args := range tests {
+		var buf strings.Builder
+		if err := run(args, &buf); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+func TestAblationFlags(t *testing.T) {
+	var buf strings.Builder
+	args := []string{"-bench", "cactuBSSN", "-scheme", "dfp",
+		"-predictor", "stride", "-policy", "lru", "-reclaim"}
+	if err := run(args, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "cycles:") {
+		t.Errorf("ablation-flag run incomplete:\n%s", buf.String())
+	}
+	if err := run([]string{"-predictor", "bogus", "-scheme", "dfp"}, &buf); err == nil {
+		t.Error("bogus predictor accepted")
+	}
+	if err := run([]string{"-policy", "bogus"}, &buf); err == nil {
+		t.Error("bogus policy accepted")
+	}
+}

@@ -1,0 +1,79 @@
+package sgxpreload_test
+
+import (
+	"fmt"
+	"log"
+
+	"sgxpreload"
+)
+
+// The godoc examples double as executable documentation: `go test` runs
+// them and checks their output, so the README snippets can never rot.
+
+func Example() {
+	w, err := sgxpreload.Benchmark("lbm")
+	if err != nil {
+		log.Fatal(err)
+	}
+	base, err := sgxpreload.Run(w, sgxpreload.Config{Scheme: sgxpreload.Baseline})
+	if err != nil {
+		log.Fatal(err)
+	}
+	dfp, err := sgxpreload.Run(w, sgxpreload.Config{Scheme: sgxpreload.DFP})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("lbm DFP improvement: %+.1f%%\n", sgxpreload.ImprovementPct(dfp, base))
+	// Output: lbm DFP improvement: +13.3%
+}
+
+func ExampleProfile() {
+	w, err := sgxpreload.Benchmark("deepsjeng")
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := sgxpreload.DefaultConfig()
+	sel, err := sgxpreload.Profile(w, cfg) // train input, 5% threshold
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("instrumentation points: %d\n", sel.Points())
+
+	base, err := sgxpreload.Run(w, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg.Scheme, cfg.Selection = sgxpreload.SIP, sel
+	res, err := sgxpreload.Run(w, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("deepsjeng SIP improvement: %+.1f%%\n", sgxpreload.ImprovementPct(res, base))
+	// Output:
+	// instrumentation points: 59
+	// deepsjeng SIP improvement: +9.2%
+}
+
+func ExampleRunShared() {
+	lbm, err := sgxpreload.Benchmark("lbm")
+	if err != nil {
+		log.Fatal(err)
+	}
+	dj, err := sgxpreload.Benchmark("deepsjeng")
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sgxpreload.RunShared([]sgxpreload.EnclaveSpec{
+		{Workload: lbm, Scheme: sgxpreload.DFPStop},
+		{Workload: dj, Scheme: sgxpreload.Baseline},
+	}, sgxpreload.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range res {
+		fmt.Printf("%s faulted: %v\n", r.Name, r.Faults > 0)
+	}
+	// Output:
+	// lbm faulted: true
+	// deepsjeng faulted: true
+}

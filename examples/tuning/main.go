@@ -1,0 +1,93 @@
+// Tuning sweeps the two DFP design parameters the paper studies —
+// stream_list length (Figure 6) and preload distance (Figure 7) — plus
+// SIP's instrumentation threshold (Figure 9), showing how the paper's
+// operating point (list 30, distance 4, threshold 5%) emerges.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sgxpreload"
+)
+
+func main() {
+	sweepStreamList()
+	sweepLoadLength()
+	sweepThreshold()
+}
+
+func improvement(name string, cfg sgxpreload.Config) float64 {
+	w, err := sgxpreload.Benchmark(name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	base, err := sgxpreload.Run(w, sgxpreload.Config{EPCPages: cfg.EPCPages})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sgxpreload.Run(w, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return sgxpreload.ImprovementPct(res, base)
+}
+
+func sweepStreamList() {
+	fmt.Println("DFP stream_list length (Figure 6): bwaves sweeps ~24 arrays at")
+	fmt.Println("once, so short lists thrash; the paper settles on 30.")
+	fmt.Printf("%8s  %8s  %8s\n", "length", "lbm", "bwaves")
+	for _, n := range []int{2, 5, 10, 20, 30, 60} {
+		cfg := sgxpreload.Config{
+			Scheme: sgxpreload.DFP,
+			DFP:    sgxpreload.DFPConfig{StreamListLen: n, LoadLength: 4},
+		}
+		fmt.Printf("%8d  %+7.1f%%  %+7.1f%%\n", n,
+			improvement("lbm", cfg), improvement("bwaves", cfg))
+	}
+}
+
+func sweepLoadLength() {
+	fmt.Println("\nDFP preload distance (Figure 7): sequential benchmarks keep")
+	fmt.Println("gaining with deeper preloads; irregular ones pay for the junk.")
+	fmt.Printf("%8s  %8s  %8s\n", "distance", "lbm", "deepsjeng")
+	for _, l := range []int{1, 2, 4, 8, 16, 32} {
+		cfg := sgxpreload.Config{
+			Scheme: sgxpreload.DFP,
+			DFP:    sgxpreload.DFPConfig{StreamListLen: 30, LoadLength: l},
+		}
+		fmt.Printf("%8d  %+7.1f%%  %+7.1f%%\n", l,
+			improvement("lbm", cfg), improvement("deepsjeng", cfg))
+	}
+}
+
+func sweepThreshold() {
+	fmt.Println("\nSIP instrumentation threshold (Figure 9): too low instruments")
+	fmt.Println("hot resident-page sites (pure check overhead); too high forgoes")
+	fmt.Println("conversions. The paper's sweet spot is 5%.")
+	w, err := sgxpreload.Benchmark("deepsjeng")
+	if err != nil {
+		log.Fatal(err)
+	}
+	base, err := sgxpreload.Run(w, sgxpreload.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%10s  %8s  %8s\n", "threshold", "points", "gain")
+	for _, th := range []float64{0.01, 0.02, 0.05, 0.10, 0.20, 0.50} {
+		cfg := sgxpreload.DefaultConfig()
+		cfg.Threshold = th
+		sel, err := sgxpreload.Profile(w, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Scheme = sgxpreload.SIP
+		cfg.Selection = sel
+		res, err := sgxpreload.Run(w, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%9.0f%%  %8d  %+7.1f%%\n", th*100, sel.Points(),
+			sgxpreload.ImprovementPct(res, base))
+	}
+}

@@ -1,0 +1,3 @@
+module sgxpreload
+
+go 1.22

@@ -1,0 +1,237 @@
+// Package channel models the EPC load channel: the single hardware path
+// that moves pages between non-EPC memory and the EPC.
+//
+// The paper's measurements (its §3.1 and §5.6) establish three properties
+// that this model reproduces exactly:
+//
+//  1. The channel loads one page at a time — loads are serialized.
+//  2. An in-progress ELDU/ELDB load is non-preemptible: a demand fault
+//     arriving mid-load waits for the load to finish.
+//  3. Queued-but-unstarted preloads can be aborted (Algorithm 1 rebuilds
+//     the to-load list on every fault, so at most one predicted batch is
+//     ever pending).
+//
+// The channel is a pure time-keeper: it tracks the in-progress load and the
+// pending preload batch, and leaves all policy (eviction, priorities,
+// counters) to the kernel package that drives it.
+package channel
+
+import (
+	"sgxpreload/internal/mem"
+)
+
+// Load describes one page transfer occupying the channel.
+type Load struct {
+	// Page being transferred into the EPC.
+	Page mem.PageID
+	// Start is the cycle the channel began the transfer.
+	Start uint64
+	// Done is the cycle the transfer completes (Start + occupancy).
+	Done uint64
+	// Preload records whether the transfer was speculative (queued by a
+	// predictor) rather than demanded by a fault or a SIP notification.
+	Preload bool
+	// Batch tags the prediction batch a preload belongs to; zero for
+	// demand loads.
+	Batch uint64
+}
+
+// Request is a queued (not yet started) preload.
+type Request struct {
+	Page  mem.PageID
+	Batch uint64
+	// Enqueued is the earliest cycle the transfer may start.
+	Enqueued uint64
+}
+
+// server is the shared single-server state: the one physical load path.
+// Multiple Channels may share a server (multi-enclave mode: each enclave
+// has its own preload queue, but transfers serialize on the same
+// hardware).
+type server struct {
+	inflight  *Load
+	busyUntil uint64
+	started   uint64 // total transfers begun
+}
+
+// Channel is the single-server load queue. Construct with New (private
+// server) or NewGroup (shared server).
+type Channel struct {
+	srv         *server
+	pending     []Request
+	aborted     uint64 // queued preloads dropped before starting
+	lastBatchID uint64
+}
+
+// New returns an idle channel with its own server.
+func New() *Channel { return &Channel{srv: &server{}} }
+
+// NewGroup returns n channels sharing one load server: queued work is
+// per-channel, but only one transfer can be in progress across the group.
+func NewGroup(n int) []*Channel {
+	srv := &server{}
+	out := make([]*Channel, n)
+	for i := range out {
+		out[i] = &Channel{srv: srv}
+	}
+	return out
+}
+
+// BusyUntil returns the cycle at which the channel becomes free. If no
+// load is in progress it returns the completion time of the last one (or 0).
+func (c *Channel) BusyUntil() uint64 { return c.srv.busyUntil }
+
+// Inflight returns the in-progress load, if any.
+func (c *Channel) Inflight() (Load, bool) {
+	if c.srv.inflight == nil {
+		return Load{}, false
+	}
+	return *c.srv.inflight, true
+}
+
+// InflightPage returns the page of the in-progress load, or mem.NoPage.
+func (c *Channel) InflightPage() mem.PageID {
+	if c.srv.inflight == nil {
+		return mem.NoPage
+	}
+	return c.srv.inflight.Page
+}
+
+// Idle reports whether no load is in progress.
+func (c *Channel) Idle() bool { return c.srv.inflight == nil }
+
+// Begin starts a transfer of page at cycle start, occupying the channel
+// for occupancy cycles. The caller must have completed any in-progress
+// load first (start must be >= BusyUntil) — the non-preemptibility rule.
+func (c *Channel) Begin(page mem.PageID, start, occupancy uint64, preload bool, batch uint64) Load {
+	if c.srv.inflight != nil {
+		panic("channel: Begin while a load is in progress")
+	}
+	if start < c.srv.busyUntil {
+		panic("channel: Begin before the channel is free (time went backwards)")
+	}
+	ld := Load{Page: page, Start: start, Done: start + occupancy, Preload: preload, Batch: batch}
+	c.srv.inflight = &ld
+	c.srv.busyUntil = ld.Done
+	c.srv.started++
+	return ld
+}
+
+// CompleteInflight retires the in-progress load and returns it. It panics
+// if the channel is idle; callers check Inflight first.
+func (c *Channel) CompleteInflight() Load {
+	if c.srv.inflight == nil {
+		panic("channel: CompleteInflight on idle channel")
+	}
+	ld := *c.srv.inflight
+	c.srv.inflight = nil
+	return ld
+}
+
+// QueueBatch appends a new predicted batch, eligible to start at cycle
+// enqueued. When the backlog would exceed maxPending, the stalest queued
+// requests are dropped first: an old list_to_load the worker never reached
+// was produced for a fault the application has long since moved past. It
+// returns the number of requests dropped.
+func (c *Channel) QueueBatch(pages []mem.PageID, enqueued uint64, maxPending int) (dropped int) {
+	c.lastBatchID++
+	for _, p := range pages {
+		c.pending = append(c.pending, Request{Page: p, Batch: c.lastBatchID, Enqueued: enqueued})
+	}
+	if maxPending > 0 && len(c.pending) > maxPending {
+		dropped = len(c.pending) - maxPending
+		c.aborted += uint64(dropped)
+		copy(c.pending, c.pending[dropped:])
+		c.pending = c.pending[:maxPending]
+	}
+	return dropped
+}
+
+// AbortBatchContaining drops every queued request belonging to the batch
+// that contains page — the paper's in-stream abort: a fault landing on a
+// predicted page that has not been loaded yet cancels the remainder of
+// that prediction. It reports whether any batch matched.
+func (c *Channel) AbortBatchContaining(page mem.PageID) bool {
+	batch := uint64(0)
+	for _, r := range c.pending {
+		if r.Page == page {
+			batch = r.Batch
+			break
+		}
+	}
+	if batch == 0 {
+		return false
+	}
+	kept := c.pending[:0]
+	for _, r := range c.pending {
+		if r.Batch == batch {
+			c.aborted++
+			continue
+		}
+		kept = append(kept, r)
+	}
+	c.pending = kept
+	return true
+}
+
+// RemovePending removes a single queued request for page (the SIP notify
+// path demand-loads it instead). It reports whether a request was removed.
+func (c *Channel) RemovePending(page mem.PageID) bool {
+	for i, r := range c.pending {
+		if r.Page == page {
+			copy(c.pending[i:], c.pending[i+1:])
+			c.pending = c.pending[:len(c.pending)-1]
+			return true
+		}
+	}
+	return false
+}
+
+// PushAll replaces the pending queue with reqs, preserving order. The
+// kernel uses it to restore a popped-but-not-startable head.
+func (c *Channel) PushAll(reqs []Request) {
+	c.pending = append(c.pending[:0], reqs...)
+}
+
+// AbortPending drops every queued preload and returns how many were
+// dropped; used when preloading is shut down mid-run.
+func (c *Channel) AbortPending() int {
+	n := len(c.pending)
+	c.aborted += uint64(n)
+	c.pending = c.pending[:0]
+	return n
+}
+
+// PendingContains reports whether page is in the queued (unstarted) batch.
+func (c *Channel) PendingContains(page mem.PageID) bool {
+	for _, r := range c.pending {
+		if r.Page == page {
+			return true
+		}
+	}
+	return false
+}
+
+// PendingLen returns the number of queued preloads.
+func (c *Channel) PendingLen() int { return len(c.pending) }
+
+// PopPending removes and returns the next queued preload. The boolean is
+// false when the queue is empty.
+func (c *Channel) PopPending() (Request, bool) {
+	if len(c.pending) == 0 {
+		return Request{}, false
+	}
+	r := c.pending[0]
+	// Shift rather than re-slice so the backing array is reused and the
+	// queue cannot retain an unbounded tail.
+	copy(c.pending, c.pending[1:])
+	c.pending = c.pending[:len(c.pending)-1]
+	return r, true
+}
+
+// Started returns the total number of transfers begun on the (possibly
+// shared) server.
+func (c *Channel) Started() uint64 { return c.srv.started }
+
+// Aborted returns the total number of queued preloads dropped.
+func (c *Channel) Aborted() uint64 { return c.aborted }

@@ -1,0 +1,197 @@
+package channel
+
+import (
+	"testing"
+
+	"sgxpreload/internal/mem"
+)
+
+func TestBeginComplete(t *testing.T) {
+	c := New()
+	if !c.Idle() {
+		t.Fatal("new channel not idle")
+	}
+	ld := c.Begin(5, 100, 44000, false, 0)
+	if ld.Done != 44100 {
+		t.Fatalf("Done = %d, want 44100", ld.Done)
+	}
+	if c.Idle() {
+		t.Fatal("channel idle during transfer")
+	}
+	if got := c.InflightPage(); got != 5 {
+		t.Fatalf("InflightPage() = %d, want 5", got)
+	}
+	done := c.CompleteInflight()
+	if done.Page != 5 || !c.Idle() {
+		t.Fatalf("CompleteInflight() = %+v, idle=%v", done, c.Idle())
+	}
+	if c.Started() != 1 {
+		t.Fatalf("Started() = %d, want 1", c.Started())
+	}
+}
+
+func TestBeginWhileBusyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Begin while busy did not panic")
+		}
+	}()
+	c := New()
+	c.Begin(1, 0, 100, false, 0)
+	c.Begin(2, 200, 100, false, 0)
+}
+
+func TestBeginBeforeFreePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Begin before channel free did not panic")
+		}
+	}()
+	c := New()
+	c.Begin(1, 0, 100, false, 0)
+	c.CompleteInflight()
+	c.Begin(2, 50, 100, false, 0) // channel busy until 100
+}
+
+func TestCompleteIdlePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CompleteInflight on idle channel did not panic")
+		}
+	}()
+	New().CompleteInflight()
+}
+
+func TestInflightOnIdle(t *testing.T) {
+	c := New()
+	if _, ok := c.Inflight(); ok {
+		t.Fatal("Inflight() = ok on idle channel")
+	}
+	if got := c.InflightPage(); got != mem.NoPage {
+		t.Fatalf("InflightPage() = %d, want NoPage", got)
+	}
+}
+
+func TestQueueBatchFIFO(t *testing.T) {
+	c := New()
+	c.QueueBatch([]mem.PageID{1, 2, 3}, 10, 32)
+	c.QueueBatch([]mem.PageID{7, 8}, 20, 32)
+	want := []mem.PageID{1, 2, 3, 7, 8}
+	for i, w := range want {
+		r, ok := c.PopPending()
+		if !ok || r.Page != w {
+			t.Fatalf("pop %d = (%v, %v), want page %d", i, r, ok, w)
+		}
+	}
+	if _, ok := c.PopPending(); ok {
+		t.Fatal("pop on drained queue succeeded")
+	}
+}
+
+func TestQueueBatchDistinctIDs(t *testing.T) {
+	c := New()
+	c.QueueBatch([]mem.PageID{1}, 0, 32)
+	c.QueueBatch([]mem.PageID{2}, 0, 32)
+	a, _ := c.PopPending()
+	b, _ := c.PopPending()
+	if a.Batch == b.Batch {
+		t.Fatalf("batches share id %d", a.Batch)
+	}
+}
+
+func TestQueueBatchCapDropsStalest(t *testing.T) {
+	c := New()
+	c.QueueBatch([]mem.PageID{1, 2, 3, 4}, 0, 32)
+	dropped := c.QueueBatch([]mem.PageID{5, 6, 7, 8}, 0, 6)
+	if dropped != 2 {
+		t.Fatalf("dropped = %d, want 2", dropped)
+	}
+	r, _ := c.PopPending()
+	if r.Page != 3 {
+		t.Fatalf("head after cap = %d, want 3 (1 and 2 were stalest)", r.Page)
+	}
+	if c.Aborted() != 2 {
+		t.Fatalf("Aborted() = %d, want 2", c.Aborted())
+	}
+}
+
+func TestAbortBatchContaining(t *testing.T) {
+	c := New()
+	c.QueueBatch([]mem.PageID{1, 2, 3}, 0, 32)
+	c.QueueBatch([]mem.PageID{9, 10}, 0, 32)
+	if !c.AbortBatchContaining(2) {
+		t.Fatal("AbortBatchContaining(2) = false")
+	}
+	// Batch {1,2,3} gone; {9,10} intact.
+	want := []mem.PageID{9, 10}
+	for _, w := range want {
+		r, ok := c.PopPending()
+		if !ok || r.Page != w {
+			t.Fatalf("after abort got (%v, %v), want %d", r, ok, w)
+		}
+	}
+	if c.AbortBatchContaining(99) {
+		t.Fatal("AbortBatchContaining of absent page = true")
+	}
+}
+
+func TestRemovePending(t *testing.T) {
+	c := New()
+	c.QueueBatch([]mem.PageID{1, 2, 3}, 0, 32)
+	if !c.RemovePending(2) {
+		t.Fatal("RemovePending(2) = false")
+	}
+	if c.RemovePending(2) {
+		t.Fatal("RemovePending(2) twice = true")
+	}
+	if c.PendingLen() != 2 {
+		t.Fatalf("PendingLen() = %d, want 2", c.PendingLen())
+	}
+	if !c.PendingContains(1) || !c.PendingContains(3) || c.PendingContains(2) {
+		t.Fatal("pending set wrong after removal")
+	}
+}
+
+func TestAbortPending(t *testing.T) {
+	c := New()
+	c.QueueBatch([]mem.PageID{1, 2, 3}, 0, 32)
+	if n := c.AbortPending(); n != 3 {
+		t.Fatalf("AbortPending() = %d, want 3", n)
+	}
+	if c.PendingLen() != 0 {
+		t.Fatal("pending not empty after AbortPending")
+	}
+}
+
+func TestPushAllRestoresOrder(t *testing.T) {
+	c := New()
+	c.QueueBatch([]mem.PageID{1, 2}, 0, 32)
+	head, _ := c.PopPending()
+	rest := []Request{head}
+	for {
+		r, ok := c.PopPending()
+		if !ok {
+			break
+		}
+		rest = append(rest, r)
+	}
+	c.PushAll(rest)
+	r, _ := c.PopPending()
+	if r.Page != 1 {
+		t.Fatalf("head after PushAll = %d, want 1", r.Page)
+	}
+}
+
+func TestBusyUntilMonotone(t *testing.T) {
+	c := New()
+	var last uint64
+	for i := 0; i < 100; i++ {
+		start := c.BusyUntil() + uint64(i%7)
+		c.Begin(mem.PageID(i), start, 1000, i%2 == 0, 0)
+		c.CompleteInflight()
+		if c.BusyUntil() < last {
+			t.Fatalf("BusyUntil went backwards: %d < %d", c.BusyUntil(), last)
+		}
+		last = c.BusyUntil()
+	}
+}

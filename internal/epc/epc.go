@@ -1,0 +1,358 @@
+// Package epc models the SGX Enclave Page Cache: the scarce, fixed-size
+// region of protected physical memory that enclave pages must occupy to be
+// accessible.
+//
+// The model tracks, for every resident enclave page, the physical frame it
+// occupies and two per-frame bits: the access bit (set by the hardware on
+// every touch, cleared by the OS service thread — the input to CLOCK
+// eviction and to DFP's accuracy counters) and the preload bit (set when
+// the page was brought in by a preloader rather than by a demand fault).
+//
+// It also maintains the presence bitmap shared between the enclave and the
+// untrusted OS that SIP's BIT_MAP_CHECK consults: one bit per enclave
+// virtual page, updated only when a page is loaded or evicted. The paper
+// notes this bitmap leaks nothing beyond what the OS already knows, since
+// the OS manages EPC residency in the first place.
+package epc
+
+import (
+	"fmt"
+
+	"sgxpreload/internal/mem"
+)
+
+// FrameID indexes a physical EPC frame.
+type FrameID uint32
+
+// noFrame marks an unmapped page in the reverse map.
+const noFrame = FrameID(1<<32 - 1)
+
+// Policy selects the eviction victim-selection algorithm. The Intel SGX
+// driver the paper builds on uses CLOCK second chance; the alternatives
+// exist for the eviction-policy ablation.
+type Policy int
+
+// Eviction policies.
+const (
+	// PolicyClock is the driver's CLOCK second-chance algorithm
+	// (default).
+	PolicyClock Policy = iota
+	// PolicyFIFO evicts the longest-resident page.
+	PolicyFIFO
+	// PolicyLRU evicts the least recently touched page (exact LRU — an
+	// oracle the real driver cannot afford, since it would need a
+	// timestamp update on every enclave access).
+	PolicyLRU
+	// PolicyRandom evicts a uniformly random resident page.
+	PolicyRandom
+)
+
+// String returns the policy name.
+func (p Policy) String() string {
+	switch p {
+	case PolicyClock:
+		return "clock"
+	case PolicyFIFO:
+		return "fifo"
+	case PolicyLRU:
+		return "lru"
+	case PolicyRandom:
+		return "random"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// frame is the per-physical-frame metadata the driver keeps.
+type frame struct {
+	page      mem.PageID // resident virtual page, mem.NoPage if free
+	accessed  bool       // hardware access bit
+	preload   bool       // page arrived via preloading, not a demand fault
+	loadedAt  uint64     // load sequence number (FIFO policy)
+	touchedAt uint64     // touch sequence number (LRU policy)
+}
+
+// EPC is the enclave page cache state for a single enclave.
+//
+// EPC is not safe for concurrent use; the simulator is a discrete-event
+// model driven from one goroutine, matching the paper's single-threaded
+// benchmarks.
+type EPC struct {
+	frames  []frame
+	free    []FrameID // LIFO free list
+	mapping map[mem.PageID]FrameID
+	present *Bitmap // shared presence bitmap (SIP's BIT_MAP_CHECK)
+	hand    int     // CLOCK hand over frames
+	pages   uint64  // ELRANGE size in pages (bitmap capacity)
+	policy  Policy
+	seq     uint64 // load/touch sequence counter for FIFO/LRU
+	rnd     uint64 // xorshift state for PolicyRandom
+}
+
+// New returns an EPC with capacity physical frames serving an enclave
+// whose ELRANGE spans elrangePages virtual pages, using the driver's
+// CLOCK eviction.
+func New(capacity int, elrangePages uint64) (*EPC, error) {
+	return NewWithPolicy(capacity, elrangePages, PolicyClock)
+}
+
+// NewWithPolicy is New with an explicit eviction policy.
+func NewWithPolicy(capacity int, elrangePages uint64, policy Policy) (*EPC, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("epc: capacity must be positive, got %d", capacity)
+	}
+	if elrangePages == 0 {
+		return nil, fmt.Errorf("epc: ELRANGE must span at least one page")
+	}
+	if policy < PolicyClock || policy > PolicyRandom {
+		return nil, fmt.Errorf("epc: unknown eviction policy %d", policy)
+	}
+	e := &EPC{
+		frames:  make([]frame, capacity),
+		free:    make([]FrameID, 0, capacity),
+		mapping: make(map[mem.PageID]FrameID, capacity),
+		present: NewBitmap(elrangePages),
+		pages:   elrangePages,
+		policy:  policy,
+		rnd:     0x2545f4914f6cdd1d,
+	}
+	for i := range e.frames {
+		e.frames[i].page = mem.NoPage
+	}
+	// Push frames so that frame 0 is handed out first.
+	for i := capacity - 1; i >= 0; i-- {
+		e.free = append(e.free, FrameID(i))
+	}
+	return e, nil
+}
+
+// Capacity returns the number of physical frames.
+func (e *EPC) Capacity() int { return len(e.frames) }
+
+// Resident returns the number of occupied frames.
+func (e *EPC) Resident() int { return len(e.mapping) }
+
+// Full reports whether every frame is occupied.
+func (e *EPC) Full() bool { return len(e.mapping) == len(e.frames) }
+
+// Pages returns the ELRANGE size in pages.
+func (e *EPC) Pages() uint64 { return e.pages }
+
+// Present reports whether page is resident in the EPC.
+func (e *EPC) Present(page mem.PageID) bool {
+	_, ok := e.mapping[page]
+	return ok
+}
+
+// PresenceBitmap exposes the shared presence bitmap. SIP's runtime checks
+// it from "inside the enclave"; the OS updates it on load and eviction.
+func (e *EPC) PresenceBitmap() *Bitmap { return e.present }
+
+// Touch sets the access bit of the frame holding page, mirroring the
+// hardware setting the PTE accessed bit on every load/store. It reports
+// whether the page was resident.
+func (e *EPC) Touch(page mem.PageID) bool {
+	f, ok := e.mapping[page]
+	if !ok {
+		return false
+	}
+	e.frames[f].accessed = true
+	if e.policy == PolicyLRU {
+		e.seq++
+		e.frames[f].touchedAt = e.seq
+	}
+	return true
+}
+
+// Load installs page into a free frame, marking it as preloaded when
+// preloaded is true. It returns an error if the EPC is full (the caller
+// must evict first — mirroring the driver, which runs EWB before ELDU when
+// no free EPC page exists) or if the page is already resident.
+func (e *EPC) Load(page mem.PageID, preloaded bool) error {
+	if page >= mem.PageID(e.pages) {
+		return fmt.Errorf("epc: page %d outside ELRANGE of %d pages", page, e.pages)
+	}
+	if _, ok := e.mapping[page]; ok {
+		return fmt.Errorf("epc: page %d already resident", page)
+	}
+	if len(e.free) == 0 {
+		return fmt.Errorf("epc: full (%d frames); evict before loading", len(e.frames))
+	}
+	f := e.free[len(e.free)-1]
+	e.free = e.free[:len(e.free)-1]
+	e.seq++
+	e.frames[f] = frame{
+		page:      page,
+		accessed:  !preloaded,
+		preload:   preloaded,
+		loadedAt:  e.seq,
+		touchedAt: e.seq,
+	}
+	e.mapping[page] = f
+	e.present.Set(uint64(page))
+	return nil
+}
+
+// Evict removes page from the EPC (the EWB path). It reports whether the
+// page was resident.
+func (e *EPC) Evict(page mem.PageID) bool {
+	f, ok := e.mapping[page]
+	if !ok {
+		return false
+	}
+	e.frames[f] = frame{page: mem.NoPage}
+	e.free = append(e.free, f)
+	delete(e.mapping, page)
+	e.present.Clear(uint64(page))
+	return true
+}
+
+// SelectVictim returns the page the configured policy would evict, or
+// mem.NoPage if the EPC is empty.
+//
+// Under CLOCK (the driver's algorithm), frames with the access bit set get
+// a second chance (the bit is cleared and the hand moves on); the first
+// frame found with a clear access bit is the victim. With every bit set
+// the hand wraps once, clearing as it goes, and evicts the frame it
+// started from — guaranteeing termination.
+func (e *EPC) SelectVictim() mem.PageID {
+	if len(e.mapping) == 0 {
+		return mem.NoPage
+	}
+	switch e.policy {
+	case PolicyFIFO:
+		return e.victimByMin(func(fr *frame) uint64 { return fr.loadedAt })
+	case PolicyLRU:
+		return e.victimByMin(func(fr *frame) uint64 { return fr.touchedAt })
+	case PolicyRandom:
+		return e.victimRandom()
+	}
+	for sweep := 0; sweep < 2*len(e.frames); sweep++ {
+		fr := &e.frames[e.hand]
+		e.hand = (e.hand + 1) % len(e.frames)
+		if fr.page == mem.NoPage {
+			continue
+		}
+		if fr.accessed {
+			fr.accessed = false
+			continue
+		}
+		return fr.page
+	}
+	// Unreachable: two sweeps over a non-empty table must find a frame
+	// whose bit was cleared on the first pass.
+	panic("epc: CLOCK failed to select a victim")
+}
+
+// victimByMin scans for the occupied frame minimizing key.
+func (e *EPC) victimByMin(key func(*frame) uint64) mem.PageID {
+	victim := mem.NoPage
+	best := uint64(0)
+	for i := range e.frames {
+		fr := &e.frames[i]
+		if fr.page == mem.NoPage {
+			continue
+		}
+		if k := key(fr); victim == mem.NoPage || k < best {
+			victim, best = fr.page, k
+		}
+	}
+	return victim
+}
+
+// victimRandom picks a uniformly random occupied frame (deterministic
+// xorshift so runs stay reproducible).
+func (e *EPC) victimRandom() mem.PageID {
+	for {
+		e.rnd ^= e.rnd << 13
+		e.rnd ^= e.rnd >> 7
+		e.rnd ^= e.rnd << 17
+		fr := &e.frames[e.rnd%uint64(len(e.frames))]
+		if fr.page != mem.NoPage {
+			return fr.page
+		}
+	}
+}
+
+// Preloaded reports whether page is resident and arrived via preloading.
+func (e *EPC) Preloaded(page mem.PageID) bool {
+	f, ok := e.mapping[page]
+	return ok && e.frames[f].preload
+}
+
+// Accessed reports whether page is resident with its access bit set.
+func (e *EPC) Accessed(page mem.PageID) bool {
+	f, ok := e.mapping[page]
+	return ok && e.frames[f].accessed
+}
+
+// ScanPreloadBits visits every resident preloaded page and reports it to
+// visit together with its access bit. The kernel service thread piggybacks
+// on its CLOCK access-bit scan to maintain DFP's PreloadedPageList; this
+// method is that scan. When clear is true the preload bit of visited
+// accessed pages is cleared so each correct preload is counted once.
+func (e *EPC) ScanPreloadBits(clear bool, visit func(page mem.PageID, accessed bool)) {
+	e.ScanPreloadBitsRange(0, mem.PageID(e.pages), clear, visit)
+}
+
+// ScanPreloadBitsRange is ScanPreloadBits restricted to pages in
+// [lo, hi). In multi-enclave mode each enclave's service scan covers only
+// its own ELRANGE slice of the shared EPC.
+func (e *EPC) ScanPreloadBitsRange(lo, hi mem.PageID, clear bool, visit func(page mem.PageID, accessed bool)) {
+	for i := range e.frames {
+		fr := &e.frames[i]
+		if fr.page == mem.NoPage || !fr.preload || fr.page < lo || fr.page >= hi {
+			continue
+		}
+		visit(fr.page, fr.accessed)
+		if clear && fr.accessed {
+			fr.preload = false
+		}
+	}
+}
+
+// ResidentPages returns the resident page set; for tests and tooling.
+func (e *EPC) ResidentPages() []mem.PageID {
+	pages := make([]mem.PageID, 0, len(e.mapping))
+	for p := range e.mapping {
+		pages = append(pages, p)
+	}
+	return pages
+}
+
+// CheckInvariants verifies internal consistency: the mapping, frame table,
+// free list, and presence bitmap must agree. Tests call it after random
+// operation sequences.
+func (e *EPC) CheckInvariants() error {
+	if len(e.mapping)+len(e.free) != len(e.frames) {
+		return fmt.Errorf("epc: %d mapped + %d free != %d frames",
+			len(e.mapping), len(e.free), len(e.frames))
+	}
+	seen := make(map[FrameID]bool, len(e.frames))
+	for p, f := range e.mapping {
+		if seen[f] {
+			return fmt.Errorf("epc: frame %d mapped twice", f)
+		}
+		seen[f] = true
+		if e.frames[f].page != p {
+			return fmt.Errorf("epc: mapping says frame %d holds page %d, frame says %d",
+				f, p, e.frames[f].page)
+		}
+		if !e.present.Get(uint64(p)) {
+			return fmt.Errorf("epc: resident page %d absent from presence bitmap", p)
+		}
+	}
+	for _, f := range e.free {
+		if seen[f] {
+			return fmt.Errorf("epc: frame %d both free and mapped", f)
+		}
+		seen[f] = true
+		if e.frames[f].page != mem.NoPage {
+			return fmt.Errorf("epc: free frame %d holds page %d", f, e.frames[f].page)
+		}
+	}
+	if got := e.present.Count(); got != uint64(len(e.mapping)) {
+		return fmt.Errorf("epc: presence bitmap count %d != %d resident", got, len(e.mapping))
+	}
+	return nil
+}

@@ -1,0 +1,166 @@
+package epc
+
+import (
+	"testing"
+
+	"sgxpreload/internal/mem"
+	"sgxpreload/internal/rng"
+)
+
+func mustPolicy(t *testing.T, capacity int, pages uint64, pol Policy) *EPC {
+	t.Helper()
+	e, err := NewWithPolicy(capacity, pages, pol)
+	if err != nil {
+		t.Fatalf("NewWithPolicy(%v): %v", pol, err)
+	}
+	return e
+}
+
+func TestPolicyStrings(t *testing.T) {
+	for pol, want := range map[Policy]string{
+		PolicyClock: "clock", PolicyFIFO: "fifo", PolicyLRU: "lru", PolicyRandom: "random",
+	} {
+		if pol.String() != want {
+			t.Errorf("%d.String() = %q, want %q", pol, pol.String(), want)
+		}
+	}
+}
+
+func TestNewWithPolicyRejectsUnknown(t *testing.T) {
+	if _, err := NewWithPolicy(4, 10, Policy(99)); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}
+
+func TestFIFOEvictsOldestLoad(t *testing.T) {
+	e := mustPolicy(t, 3, 100, PolicyFIFO)
+	for _, p := range []mem.PageID{5, 6, 7} {
+		if err := e.Load(p, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touching must not matter to FIFO.
+	e.Touch(5)
+	e.Touch(5)
+	if v := e.SelectVictim(); v != 5 {
+		t.Fatalf("FIFO victim = %d, want 5 (oldest load)", v)
+	}
+	e.Evict(5)
+	if err := e.Load(8, false); err != nil {
+		t.Fatal(err)
+	}
+	if v := e.SelectVictim(); v != 6 {
+		t.Fatalf("FIFO victim = %d, want 6", v)
+	}
+}
+
+func TestLRUEvictsLeastRecentlyTouched(t *testing.T) {
+	e := mustPolicy(t, 3, 100, PolicyLRU)
+	for _, p := range []mem.PageID{1, 2, 3} {
+		if err := e.Load(p, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Re-touch 1 and 3; 2 becomes LRU.
+	e.Touch(1)
+	e.Touch(3)
+	if v := e.SelectVictim(); v != 2 {
+		t.Fatalf("LRU victim = %d, want 2", v)
+	}
+	// Touch 2; now 1 is LRU (its touch was earliest).
+	e.Touch(2)
+	if v := e.SelectVictim(); v != 1 {
+		t.Fatalf("LRU victim = %d, want 1", v)
+	}
+}
+
+func TestRandomVictimIsResidentAndDeterministic(t *testing.T) {
+	mk := func() []mem.PageID {
+		e := mustPolicy(t, 8, 100, PolicyRandom)
+		for p := mem.PageID(0); p < 8; p++ {
+			if err := e.Load(p, false); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var victims []mem.PageID
+		for i := 0; i < 5; i++ {
+			v := e.SelectVictim()
+			if !e.Present(v) {
+				t.Fatalf("random victim %d not resident", v)
+			}
+			e.Evict(v)
+			victims = append(victims, v)
+		}
+		return victims
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("random policy not deterministic across identical histories")
+		}
+	}
+}
+
+func TestAllPoliciesSurviveRandomWorkload(t *testing.T) {
+	for _, pol := range []Policy{PolicyClock, PolicyFIFO, PolicyLRU, PolicyRandom} {
+		t.Run(pol.String(), func(t *testing.T) {
+			r := rng.New(uint64(pol) + 1)
+			e := mustPolicy(t, 16, 256, pol)
+			for i := 0; i < 3000; i++ {
+				p := mem.PageID(r.Intn(256))
+				if e.Touch(p) {
+					continue
+				}
+				if e.Full() {
+					v := e.SelectVictim()
+					if v == mem.NoPage || !e.Evict(v) {
+						t.Fatalf("step %d: bad victim %d", i, v)
+					}
+				}
+				if err := e.Load(p, r.Intn(3) == 0); err != nil {
+					t.Fatalf("step %d: %v", i, err)
+				}
+			}
+			if err := e.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestVictimByMinSkipsFreeFrames(t *testing.T) {
+	e := mustPolicy(t, 4, 100, PolicyFIFO)
+	if err := e.Load(9, false); err != nil {
+		t.Fatal(err)
+	}
+	if v := e.SelectVictim(); v != 9 {
+		t.Fatalf("victim = %d with one resident page, want 9", v)
+	}
+}
+
+func TestScanPreloadBitsRange(t *testing.T) {
+	e := mustPolicy(t, 8, 100, PolicyClock)
+	for _, p := range []mem.PageID{10, 20, 30} {
+		if err := e.Load(p, true); err != nil {
+			t.Fatal(err)
+		}
+		e.Touch(p)
+	}
+	var seen []mem.PageID
+	e.ScanPreloadBitsRange(15, 25, true, func(p mem.PageID, acc bool) {
+		if !acc {
+			t.Errorf("page %d not accessed", p)
+		}
+		seen = append(seen, p)
+	})
+	if len(seen) != 1 || seen[0] != 20 {
+		t.Fatalf("range scan saw %v, want [20]", seen)
+	}
+	// Pages outside the range keep their preload bits.
+	if !e.Preloaded(10) || !e.Preloaded(30) {
+		t.Fatal("range scan cleared bits outside its range")
+	}
+	if e.Preloaded(20) {
+		t.Fatal("scanned accessed page kept its preload bit")
+	}
+}

@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+// band is an acceptance interval for a benchmark × scheme improvement.
+type band struct{ lo, hi float64 }
+
+func (b band) contains(v float64) bool { return v >= b.lo && v <= b.hi }
+
+// paperBands pins every benchmark's improvements to an interval around
+// the paper's reported (or implied) value. These are the calibration
+// contract: a workload-model or engine change that silently moves a
+// benchmark out of its band fails here with the exact number.
+//
+// NaN bounds mean "no constraint" (the paper gives no number and the
+// shape tests elsewhere cover the sign).
+var paperBands = map[string]struct {
+	dfp, dfpStop, sip band
+}{
+	// Regular set: paper Figure 8 (micro +18.6, lbm +13.3; bwaves/wrf in
+	// the regular band averaging 11.4), Figure 10 zeros.
+	"microbenchmark": {dfp: band{14, 25}, dfpStop: band{14, 25}, sip: band{-0.5, 0.5}},
+	"lbm":            {dfp: band{10, 17}, dfpStop: band{10, 17}, sip: band{-0.5, 0.5}},
+	"bwaves":         {dfp: band{6, 16}, dfpStop: band{6, 16}, sip: nan()},
+	"wrf":            {dfp: band{5, 13}, dfpStop: band{5, 13}, sip: nan()},
+
+	// Irregular set: Figure 8 losses and recoveries, Figure 10 gains.
+	"deepsjeng": {dfp: band{-45, -15}, dfpStop: band{-4, 2}, sip: band{6, 16}},
+	"roms":      {dfp: band{-50, -25}, dfpStop: band{-3, 2}, sip: nan()},
+	"omnetpp":   {dfp: band{-45, -10}, dfpStop: band{-4, 2}, sip: nan()},
+	"mcf":       {dfp: band{-30, -3}, dfpStop: band{-4, 2}, sip: band{-3, 3}},
+	"mcf.2006":  {dfp: band{-10, 5}, dfpStop: band{-3, 4}, sip: band{2, 9}},
+	"xz":        {dfp: band{-8, 8}, dfpStop: band{-4, 8}, sip: band{0, 6}},
+
+	// Vision apps: Figure 11.
+	"SIFT": {dfp: band{6, 15}, dfpStop: band{6, 15}, sip: band{-0.5, 0.5}},
+	"MSER": {dfp: band{-4, 7}, dfpStop: band{-4, 7}, sip: band{1.5, 9}},
+
+	// mixed-blood: Figure 13 (hybrid asserted in TestFigure13MixedBlood).
+	"mixed-blood": {dfp: band{3, 11}, dfpStop: band{3, 11}, sip: band{0.5, 4}},
+
+	// Small working set: no movement beyond cold-start noise.
+	"cactuBSSN": {dfp: band{-1, 5}, dfpStop: band{-1, 5}, sip: band{-1, 1}},
+	"imagick":   {dfp: band{-1, 5}, dfpStop: band{-1, 5}, sip: band{-1, 1}},
+	"leela":     {dfp: band{-1, 5}, dfpStop: band{-1, 5}, sip: band{-1, 1}},
+	"nab":       {dfp: band{-1, 5}, dfpStop: band{-1, 5}, sip: band{-1, 1}},
+	"exchange2": {dfp: band{-1, 5}, dfpStop: band{-1, 5}, sip: band{-1, 1}},
+}
+
+func nan() band { return band{math.NaN(), math.NaN()} }
+
+func TestCalibrationBands(t *testing.T) {
+	sum, err := Summary(sharedRunner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, row := range sum.Rows {
+		b, ok := paperBands[row.Name]
+		if !ok {
+			t.Errorf("%s: no calibration band declared", row.Name)
+			continue
+		}
+		seen[row.Name] = true
+		check := func(scheme string, v float64, bd band) {
+			if math.IsNaN(bd.lo) {
+				return
+			}
+			if !bd.contains(v) {
+				t.Errorf("%s %s = %+.1f%%, outside calibration band [%+.1f, %+.1f]",
+					row.Name, scheme, v, bd.lo, bd.hi)
+			}
+		}
+		check("DFP", row.DFP, b.dfp)
+		check("DFP-stop", row.DFPStop, b.dfpStop)
+		if row.Instrumentable {
+			check("SIP", row.SIP, b.sip)
+		}
+	}
+	for name := range paperBands {
+		if !seen[name] {
+			t.Errorf("band declared for unknown benchmark %s", name)
+		}
+	}
+}

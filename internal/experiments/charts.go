@@ -1,0 +1,225 @@
+package experiments
+
+import (
+	"math"
+
+	"sgxpreload/internal/plot"
+)
+
+// Chart renderers: each figure result can draw itself as the paper's
+// figure. cmd/experiments writes them next to the text reports with -svg.
+
+// Charter is implemented by results that can render figures.
+type Charter interface {
+	Charts() []plot.Chart
+}
+
+// Charts renders Figure 3: one scatter per benchmark (page vs time).
+func (f Figure3Result) Charts() []plot.Chart {
+	out := make([]plot.Chart, 0, len(f.Benchmarks))
+	for _, b := range f.Benchmarks {
+		s := plot.Series{Name: b.Name}
+		for _, sm := range b.Samples {
+			s.X = append(s.X, float64(sm.Index))
+			s.Y = append(s.Y, float64(sm.Page))
+		}
+		out = append(out, plot.Chart{
+			Title:  "Figure 3: page-access pattern — " + b.Name,
+			XLabel: "access (time)",
+			YLabel: "page number",
+			Kind:   "scatter",
+			YRef:   math.NaN(),
+			Series: []plot.Series{s},
+		})
+	}
+	return out
+}
+
+// Charts renders Figure 6 as a line chart.
+func (f Figure6Result) Charts() []plot.Chart {
+	x := make([]float64, len(f.Lengths))
+	for i, n := range f.Lengths {
+		x[i] = float64(n)
+	}
+	return []plot.Chart{{
+		Title:  "Figure 6: DFP vs stream_list length",
+		XLabel: "stream_list length",
+		YLabel: "normalized time",
+		Kind:   "line",
+		YRef:   1.0,
+		Series: []plot.Series{
+			{Name: "lbm", X: x, Y: f.Lbm},
+			{Name: "bwaves", X: x, Y: f.Bwaves},
+			{Name: "combined", X: x, Y: f.Combined},
+		},
+	}}
+}
+
+// Charts renders Figure 7 as a line chart, one series per benchmark.
+func (f Figure7Result) Charts() []plot.Chart {
+	x := make([]float64, len(f.LoadLengths))
+	for i, n := range f.LoadLengths {
+		x[i] = float64(n)
+	}
+	series := make([]plot.Series, len(f.Benchmarks))
+	for i, name := range f.Benchmarks {
+		series[i] = plot.Series{Name: name, X: x, Y: f.Norm[i]}
+	}
+	return []plot.Chart{{
+		Title:  "Figure 7: DFP vs preload distance",
+		XLabel: "LOADLENGTH (pages per preload)",
+		YLabel: "normalized time",
+		Kind:   "line",
+		YRef:   1.0,
+		Series: series,
+	}}
+}
+
+// Charts renders Figure 8 as a grouped bar chart.
+func (f Figure8Result) Charts() []plot.Chart {
+	var cats []string
+	dfpBars := plot.Series{Name: "DFP"}
+	stopBars := plot.Series{Name: "DFP-stop"}
+	for _, row := range f.Rows {
+		cats = append(cats, row.Name)
+		dfpBars.Y = append(dfpBars.Y, row.DFPImprovement)
+		stopBars.Y = append(stopBars.Y, row.StopImprovement)
+	}
+	return []plot.Chart{{
+		Title:  "Figure 8: DFP and DFP-stop improvement",
+		XLabel: "benchmark",
+		YLabel: "improvement (%)",
+		Kind:   "bar",
+		YRef:   0,
+		XTicks: cats,
+		Series: []plot.Series{dfpBars, stopBars},
+	}}
+}
+
+// Charts renders Figure 9 as a line chart.
+func (f Figure9Result) Charts() []plot.Chart {
+	x := make([]float64, len(f.Thresholds))
+	for i, th := range f.Thresholds {
+		x[i] = th * 100
+	}
+	return []plot.Chart{{
+		Title:  "Figure 9: deepsjeng vs SIP threshold",
+		XLabel: "irregular-access-ratio threshold (%)",
+		YLabel: "normalized time",
+		Kind:   "line",
+		YRef:   1.0,
+		Series: []plot.Series{{Name: "deepsjeng", X: x, Y: f.Normalized}},
+	}}
+}
+
+// Charts renders Figure 10 as a bar chart.
+func (f Figure10Result) Charts() []plot.Chart {
+	var cats []string
+	bars := plot.Series{Name: "SIP"}
+	for _, row := range f.Rows {
+		cats = append(cats, row.Name)
+		bars.Y = append(bars.Y, row.Improvement)
+	}
+	return []plot.Chart{{
+		Title:  "Figure 10: SIP improvement",
+		XLabel: "benchmark",
+		YLabel: "improvement (%)",
+		Kind:   "bar",
+		YRef:   0,
+		XTicks: cats,
+		Series: []plot.Series{bars},
+	}}
+}
+
+// Charts renders Figure 12 as a grouped bar chart.
+func (f Figure12Result) Charts() []plot.Chart {
+	var cats []string
+	sip := plot.Series{Name: "SIP"}
+	dfp := plot.Series{Name: "DFP"}
+	hyb := plot.Series{Name: "SIP+DFP"}
+	for _, row := range f.Rows {
+		cats = append(cats, row.Name)
+		sip.Y = append(sip.Y, row.SIP)
+		dfp.Y = append(dfp.Y, row.DFP)
+		hyb.Y = append(hyb.Y, row.Hybrid)
+	}
+	return []plot.Chart{{
+		Title:  "Figure 12: SIP vs DFP vs hybrid",
+		XLabel: "benchmark",
+		YLabel: "normalized time",
+		Kind:   "bar",
+		YRef:   1.0,
+		XTicks: cats,
+		Series: []plot.Series{sip, dfp, hyb},
+	}}
+}
+
+// Charts renders Figure 13 as a bar chart.
+func (f Figure13Result) Charts() []plot.Chart {
+	return []plot.Chart{{
+		Title:  "Figure 13: mixed-blood",
+		XLabel: "scheme",
+		YLabel: "normalized time",
+		Kind:   "bar",
+		YRef:   1.0,
+		XTicks: []string{"SIP", "DFP", "SIP+DFP"},
+		Series: []plot.Series{{Name: "mixed-blood", Y: []float64{f.Row.SIP, f.Row.DFP, f.Row.Hybrid}}},
+	}}
+}
+
+// Charts renders the EPC sweep as a line chart.
+func (a EPCSweepResult) Charts() []plot.Chart {
+	x := make([]float64, len(a.EPCPages))
+	for i, p := range a.EPCPages {
+		x[i] = float64(p)
+	}
+	series := make([]plot.Series, len(a.Benchmarks))
+	for i, name := range a.Benchmarks {
+		series[i] = plot.Series{Name: name, X: x, Y: a.Improvement[i]}
+	}
+	return []plot.Chart{{
+		Title:  "Ablation: DFP-stop improvement vs EPC size",
+		XLabel: "EPC pages",
+		YLabel: "improvement (%)",
+		Kind:   "line",
+		YRef:   0,
+		Series: series,
+	}}
+}
+
+// Charts renders the predictor comparison as a grouped bar chart.
+func (a PredictorAblationResult) Charts() []plot.Chart {
+	series := make([]plot.Series, len(a.Kinds))
+	for k := range a.Kinds {
+		s := plot.Series{Name: string(a.Kinds[k])}
+		for b := range a.Benchmarks {
+			s.Y = append(s.Y, a.Improvement[b][k])
+		}
+		series[k] = s
+	}
+	return []plot.Chart{{
+		Title:  "Ablation: predictor strategies (plain DFP)",
+		XLabel: "benchmark",
+		YLabel: "improvement (%)",
+		Kind:   "bar",
+		YRef:   0,
+		XTicks: a.Benchmarks,
+		Series: series,
+	}}
+}
+
+// Charts renders the eager-notification sweep as a line chart.
+func (a EagerSIPResult) Charts() []plot.Chart {
+	x := make([]float64, len(a.Leads))
+	for i, l := range a.Leads {
+		x[i] = float64(l)
+	}
+	return []plot.Chart{{
+		Title:  "Ablation: eager notification lead time (deepsjeng)",
+		XLabel: "notification lead (accesses)",
+		YLabel: "improvement (%)",
+		Kind:   "line",
+		YRef:   0,
+		Series: []plot.Series{{Name: "deepsjeng SIP", X: x, Y: a.Improvement}},
+	}}
+}

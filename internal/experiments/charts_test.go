@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestChartsRender(t *testing.T) {
+	charters := map[string]func() (Charter, error){
+		"fig3": func() (Charter, error) { return Figure3(sharedRunner) },
+		"fig6": func() (Charter, error) { return Figure6(sharedRunner) },
+		"fig7": func() (Charter, error) { return Figure7(sharedRunner) },
+		"fig8": func() (Charter, error) { return Figure8(sharedRunner) },
+		"fig9": func() (Charter, error) { return Figure9(sharedRunner) },
+		"fig10": func() (Charter, error) {
+			f, err := Figure10(sharedRunner)
+			return f, err
+		},
+		"fig12": func() (Charter, error) { return Figure12(sharedRunner) },
+		"fig13": func() (Charter, error) { return Figure13(sharedRunner) },
+	}
+	for id, mk := range charters {
+		t.Run(id, func(t *testing.T) {
+			c, err := mk()
+			if err != nil {
+				t.Fatal(err)
+			}
+			charts := c.Charts()
+			if len(charts) == 0 {
+				t.Fatal("no charts")
+			}
+			for _, chart := range charts {
+				svg := chart.SVG()
+				if !strings.HasPrefix(svg, "<svg") || !strings.HasSuffix(svg, "</svg>\n") {
+					t.Errorf("%s: malformed SVG envelope", chart.Title)
+				}
+				if !strings.Contains(svg, "Figure") {
+					t.Errorf("%s: missing figure title", chart.Title)
+				}
+				if len(svg) < 500 {
+					t.Errorf("%s: suspiciously small SVG (%d bytes)", chart.Title, len(svg))
+				}
+			}
+		})
+	}
+}
+
+// TestStringersRender smoke-tests every report renderer: they feed both
+// the CLI and EXPERIMENTS.md, so a panic or empty output is a release
+// blocker even though the content is asserted elsewhere.
+func TestStringersRender(t *testing.T) {
+	type stringer interface{ String() string }
+	runs := map[string]func() (stringer, error){
+		"motivation": func() (stringer, error) { return Motivation(sharedRunner) },
+		"fig3":       func() (stringer, error) { return Figure3(sharedRunner) },
+		"fig6":       func() (stringer, error) { return Figure6(sharedRunner) },
+		"fig7":       func() (stringer, error) { return Figure7(sharedRunner) },
+		"fig8":       func() (stringer, error) { return Figure8(sharedRunner) },
+		"fig9":       func() (stringer, error) { return Figure9(sharedRunner) },
+		"fig10":      func() (stringer, error) { return Figure10(sharedRunner) },
+		"fig11":      func() (stringer, error) { return Figure11(sharedRunner) },
+		"fig12":      func() (stringer, error) { return Figure12(sharedRunner) },
+		"fig13":      func() (stringer, error) { return Figure13(sharedRunner) },
+		"table1":     func() (stringer, error) { return Table1(sharedRunner) },
+		"table2":     func() (stringer, error) { return Table2(sharedRunner) },
+		"summary":    func() (stringer, error) { return Summary(sharedRunner) },
+		"epc":        func() (stringer, error) { return EPCSweep(sharedRunner) },
+		"predictor":  func() (stringer, error) { return PredictorAblation(sharedRunner) },
+		"eviction":   func() (stringer, error) { return EvictionAblation(sharedRunner) },
+		"loadcost":   func() (stringer, error) { return CostSensitivity(sharedRunner) },
+		"shared":     func() (stringer, error) { return SharedEPC(sharedRunner) },
+		"backward":   func() (stringer, error) { return BackwardStreams(sharedRunner) },
+		"reclaim":    func() (stringer, error) { return ReclaimAblation(sharedRunner) },
+		"eager":      func() (stringer, error) { return EagerSIP(sharedRunner) },
+	}
+	for id, mk := range runs {
+		t.Run(id, func(t *testing.T) {
+			r, err := mk()
+			if err != nil {
+				t.Fatal(err)
+			}
+			out := r.String()
+			if len(out) < 40 || !strings.Contains(out, "\n") {
+				t.Errorf("report too small:\n%s", out)
+			}
+		})
+	}
+}

@@ -1,0 +1,68 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPageOfAndAddr(t *testing.T) {
+	tests := []struct {
+		addr uint64
+		page PageID
+	}{
+		{0, 0},
+		{4095, 0},
+		{4096, 1},
+		{1 << 30, 1 << 18},
+	}
+	for _, tt := range tests {
+		if got := PageOf(tt.addr); got != tt.page {
+			t.Errorf("PageOf(%d) = %d, want %d", tt.addr, got, tt.page)
+		}
+	}
+	if got := PageID(5).Addr(); got != 5*4096 {
+		t.Errorf("Addr() = %d, want %d", got, 5*4096)
+	}
+}
+
+func TestPageOfAddrRoundTrip(t *testing.T) {
+	f := func(p uint32) bool {
+		page := PageID(p)
+		return PageOf(page.Addr()) == page
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDefaultCostModelMatchesPaper(t *testing.T) {
+	cm := DefaultCostModel()
+	if cm.AEX != 10000 || cm.Load != 44000 || cm.Eresume != 10000 {
+		t.Fatalf("protocol costs = %d/%d/%d, want the paper's 10k/44k/10k",
+			cm.AEX, cm.Load, cm.Eresume)
+	}
+	if got := cm.FaultCost(); got != 64000 {
+		t.Fatalf("FaultCost() = %d, want 64000", got)
+	}
+	if cm.RegularFault != 2000 {
+		t.Fatalf("RegularFault = %d, want the paper's 2000", cm.RegularFault)
+	}
+	if err := cm.Validate(); err != nil {
+		t.Fatalf("default model invalid: %v", err)
+	}
+}
+
+func TestCostModelValidate(t *testing.T) {
+	if err := (CostModel{Hit: 1}).Validate(); err == nil {
+		t.Error("zero Load accepted")
+	}
+	if err := (CostModel{Load: 1}).Validate(); err == nil {
+		t.Error("zero Hit accepted")
+	}
+}
+
+func TestNoPageSentinel(t *testing.T) {
+	if NoPage == 0 {
+		t.Fatal("NoPage collides with page 0")
+	}
+}

@@ -1,0 +1,49 @@
+package sim
+
+import (
+	"testing"
+
+	"sgxpreload/internal/mem"
+)
+
+// FuzzEngine feeds arbitrary byte-derived traces through every scheme: no
+// panic, exact access conservation, monotone time.
+func FuzzEngine(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, uint8(1))
+	f.Add([]byte{0}, uint8(0))
+	f.Add([]byte{9, 9, 9, 9, 200, 201, 202}, uint8(4))
+	f.Fuzz(func(t *testing.T, data []byte, schemeSel uint8) {
+		if len(data) > 512 {
+			data = data[:512]
+		}
+		const pages = 300
+		trace := make([]mem.Access, 0, len(data))
+		for i, b := range data {
+			trace = append(trace, mem.Access{
+				Site:    mem.SiteID(b % 7),
+				Page:    mem.PageID(uint64(b) * uint64(i+1) % pages),
+				Compute: uint64(b) * 100,
+			})
+		}
+		scheme := Scheme(int(schemeSel) % 5)
+		cfg := Config{
+			Scheme:       scheme,
+			EPCPages:     1 + int(schemeSel)%64,
+			ELRangePages: pages,
+		}
+		res, err := Run(trace, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Accesses != uint64(len(trace)) {
+			t.Fatalf("accesses %d != %d", res.Accesses, len(trace))
+		}
+		if res.Hits+res.Kernel.DemandFaults != res.Accesses {
+			t.Fatalf("conservation violated: %d + %d != %d",
+				res.Hits, res.Kernel.DemandFaults, res.Accesses)
+		}
+		if res.Cycles < res.ComputeCycles {
+			t.Fatalf("cycles %d < compute %d", res.Cycles, res.ComputeCycles)
+		}
+	})
+}

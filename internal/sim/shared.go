@@ -1,0 +1,201 @@
+package sim
+
+import (
+	"fmt"
+
+	"sgxpreload/internal/channel"
+	"sgxpreload/internal/dfp"
+	"sgxpreload/internal/epc"
+	"sgxpreload/internal/kernel"
+	"sgxpreload/internal/mem"
+	"sgxpreload/internal/sip"
+)
+
+// Multi-enclave co-simulation. The paper's §5.6 observes that EPC sharing
+// among processes is supported by the hardware and that "each enclave can
+// handle its preloading independently... however, EPC contention becomes
+// a serious issue". This runner models exactly that: N enclaves, each
+// with its own fault history, preload queue, instrumentation, bitmap
+// view, and counters, contending for one physical EPC and one load
+// channel. Each enclave's virtual pages are mapped into a disjoint slice
+// of the shared page space.
+
+// Enclave describes one co-running enclave.
+type Enclave struct {
+	// Name labels the enclave in results.
+	Name string
+	// Trace is the enclave's access trace (pages relative to its own
+	// ELRANGE, i.e. starting at 0).
+	Trace []mem.Access
+	// Pages is the enclave's ELRANGE size; every trace page must be
+	// below it.
+	Pages uint64
+	// Scheme is the enclave's preloading configuration.
+	Scheme Scheme
+	// DFP tunables (zero value = paper defaults).
+	DFP dfp.Config
+	// Selection carries the enclave's SIP instrumentation sites.
+	Selection *sip.Selection
+}
+
+// SharedConfig configures the shared platform.
+type SharedConfig struct {
+	// Costs is the cycle cost model (zero = defaults).
+	Costs mem.CostModel
+	// EPCPages is the total physical EPC shared by all enclaves.
+	EPCPages int
+	// ScanPeriod, MaxPending, and EvictPolicy as in Config.
+	ScanPeriod  uint64
+	MaxPending  int
+	EvictPolicy epc.Policy
+}
+
+// SharedResult is one enclave's outcome of a shared run.
+type SharedResult struct {
+	Name string
+	Result
+}
+
+// enclaveState is the per-enclave execution cursor.
+type enclaveState struct {
+	enc    Enclave
+	kern   *kernel.Kernel
+	bitmap *epc.Bitmap
+	base   mem.PageID // offset of the enclave's range in shared space
+	idx    int        // next trace access
+	t      uint64     // enclave-local virtual clock
+	res    Result
+}
+
+// RunShared co-simulates the enclaves on one shared EPC. Enclaves advance
+// in global virtual-time order (the enclave with the smallest clock
+// executes its next access), so channel serialization and evictions
+// interleave exactly as a time-sliced platform would interleave them.
+func RunShared(enclaves []Enclave, cfg SharedConfig) ([]SharedResult, error) {
+	if len(enclaves) == 0 {
+		return nil, fmt.Errorf("sim: RunShared needs at least one enclave")
+	}
+	if cfg.Costs == (mem.CostModel{}) {
+		cfg.Costs = mem.DefaultCostModel()
+	}
+	if err := cfg.Costs.Validate(); err != nil {
+		return nil, err
+	}
+
+	var total uint64
+	for i, e := range enclaves {
+		if e.Pages == 0 {
+			return nil, fmt.Errorf("sim: enclave %d (%s) declares zero pages", i, e.Name)
+		}
+		total += e.Pages
+	}
+	shared, err := epc.NewWithPolicy(cfg.EPCPages, total, cfg.EvictPolicy)
+	if err != nil {
+		return nil, err
+	}
+	channels := channel.NewGroup(len(enclaves))
+
+	states := make([]*enclaveState, len(enclaves))
+	var base mem.PageID
+	for i, e := range enclaves {
+		kcfg := kernel.Config{
+			Costs:        cfg.Costs,
+			EPCPages:     cfg.EPCPages,
+			ELRangePages: total,
+			ScanPeriod:   cfg.ScanPeriod,
+			MaxPending:   cfg.MaxPending,
+			RangeLo:      base,
+			RangeHi:      base + mem.PageID(e.Pages),
+		}
+		if e.Scheme.UsesDFP() {
+			d := e.DFP
+			if d.StreamListLen == 0 && d.LoadLength == 0 {
+				d = dfp.DefaultConfig()
+			}
+			if e.Scheme == DFPStop || e.Scheme == Hybrid {
+				d.Stop = true
+			}
+			kcfg.DFP = &d
+		}
+		k, err := kernel.NewShared(kcfg, shared, channels[i])
+		if err != nil {
+			return nil, fmt.Errorf("sim: enclave %s: %w", e.Name, err)
+		}
+		states[i] = &enclaveState{
+			enc:    e,
+			kern:   k,
+			bitmap: shared.PresenceBitmap(),
+			base:   base,
+			res:    Result{Scheme: e.Scheme},
+		}
+		base += mem.PageID(e.Pages)
+	}
+
+	// Co-simulate: always advance the enclave with the smallest clock.
+	for {
+		var next *enclaveState
+		for _, st := range states {
+			if st.idx >= len(st.enc.Trace) {
+				continue
+			}
+			if next == nil || st.t+st.enc.Trace[st.idx].Compute < next.t+next.enc.Trace[next.idx].Compute {
+				next = st
+			}
+		}
+		if next == nil {
+			break
+		}
+		if err := next.step(cfg.Costs); err != nil {
+			return nil, err
+		}
+	}
+
+	out := make([]SharedResult, len(states))
+	for i, st := range states {
+		st.res.Cycles = st.t
+		st.res.Kernel = st.kern.Stats()
+		out[i] = SharedResult{Name: st.enc.Name, Result: st.res}
+	}
+	return out, nil
+}
+
+// step executes one access of the enclave's trace.
+func (st *enclaveState) step(costs mem.CostModel) error {
+	acc := st.enc.Trace[st.idx]
+	st.idx++
+	if uint64(acc.Page) >= st.enc.Pages {
+		return fmt.Errorf("sim: enclave %s access %d touches page %d outside its %d pages",
+			st.enc.Name, st.idx-1, acc.Page, st.enc.Pages)
+	}
+	page := st.base + acc.Page
+
+	st.t += acc.Compute
+	st.res.ComputeCycles += acc.Compute
+	st.res.Accesses++
+	st.kern.MaybeScan(st.t)
+	st.kern.Sync(st.t)
+
+	var sel *sip.Selection
+	if st.enc.Scheme.UsesSIP() {
+		sel = st.enc.Selection
+	}
+	if sel.Instrumented(acc.Site) {
+		st.t += costs.BitmapCheck
+		st.res.SIPChecks++
+		if st.bitmap.Get(uint64(page)) {
+			st.res.SIPPresent++
+		} else {
+			st.t += costs.Notify
+			st.t = st.kern.NotifyLoad(st.t, page)
+		}
+	}
+
+	if st.kern.Touch(page) {
+		st.res.Hits++
+		st.t += costs.Hit
+		return nil
+	}
+	st.t = st.kern.HandleFault(st.t, page)
+	st.t += costs.Hit
+	return nil
+}

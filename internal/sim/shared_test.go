@@ -1,0 +1,146 @@
+package sim
+
+import (
+	"testing"
+
+	"sgxpreload/internal/mem"
+	"sgxpreload/internal/workload"
+)
+
+func TestRunSharedValidation(t *testing.T) {
+	if _, err := RunShared(nil, SharedConfig{EPCPages: 16}); err == nil {
+		t.Fatal("RunShared with no enclaves succeeded")
+	}
+	bad := []Enclave{{Name: "x", Pages: 0}}
+	if _, err := RunShared(bad, SharedConfig{EPCPages: 16}); err == nil {
+		t.Fatal("zero-page enclave accepted")
+	}
+	oob := []Enclave{{
+		Name:  "x",
+		Pages: 4,
+		Trace: []mem.Access{{Page: 10}},
+	}}
+	if _, err := RunShared(oob, SharedConfig{EPCPages: 16}); err == nil {
+		t.Fatal("out-of-range enclave trace accepted")
+	}
+}
+
+func TestRunSharedSingleEnclaveMatchesSolo(t *testing.T) {
+	// One enclave on the shared runner must behave exactly like Run.
+	tr := seqTrace(256, 2, 5000)
+	solo, err := Run(tr, Config{Scheme: DFP, EPCPages: 128, ELRangePages: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared, err := RunShared([]Enclave{{
+		Name: "only", Trace: tr, Pages: 4096, Scheme: DFP,
+	}}, SharedConfig{EPCPages: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shared[0].Cycles != solo.Cycles {
+		t.Fatalf("shared single-enclave run = %d cycles, solo = %d", shared[0].Cycles, solo.Cycles)
+	}
+	if shared[0].Kernel.DemandFaults != solo.Kernel.DemandFaults {
+		t.Fatalf("fault counts differ: %d vs %d",
+			shared[0].Kernel.DemandFaults, solo.Kernel.DemandFaults)
+	}
+}
+
+func TestRunSharedContentionHurts(t *testing.T) {
+	// Two enclaves halve the effective EPC: each must run slower than it
+	// would alone on the full EPC (the paper's §5.6 contention point).
+	tr := seqTrace(1500, 2, 30000)
+	solo, err := Run(tr, Config{Scheme: Baseline, EPCPages: 2048, ELRangePages: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunShared([]Enclave{
+		{Name: "a", Trace: tr, Pages: 2048, Scheme: Baseline},
+		{Name: "b", Trace: tr, Pages: 2048, Scheme: Baseline},
+	}, SharedConfig{EPCPages: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res {
+		if r.Cycles <= solo.Cycles {
+			t.Errorf("enclave %s under contention (%d cycles) not slower than solo (%d)",
+				r.Name, r.Cycles, solo.Cycles)
+		}
+	}
+}
+
+func TestRunSharedPreloadingStillHelpsEachEnclave(t *testing.T) {
+	// §5.6: "each enclave can handle its preloading independently, our
+	// proposed schemes will work for each enclave".
+	w, err := workload.ByName("lbm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := w.Generate(workload.Ref)
+	pages := w.ELRangePages()
+	mk := func(scheme Scheme) []Enclave {
+		return []Enclave{
+			{Name: "a", Trace: tr, Pages: pages, Scheme: scheme},
+			{Name: "b", Trace: tr, Pages: pages, Scheme: scheme},
+		}
+	}
+	base, err := RunShared(mk(Baseline), SharedConfig{EPCPages: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dfp, err := RunShared(mk(DFP), SharedConfig{EPCPages: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range base {
+		if dfp[i].Cycles >= base[i].Cycles {
+			t.Errorf("enclave %s: DFP (%d) not faster than baseline (%d) under sharing",
+				base[i].Name, dfp[i].Cycles, base[i].Cycles)
+		}
+	}
+}
+
+func TestRunSharedIsolatedCounters(t *testing.T) {
+	// A preloading enclave next to a non-preloading one: the baseline
+	// enclave must report zero preloads of its own. Enough compute per
+	// page that the shared channel has idle slots for speculative loads.
+	tr := seqTrace(512, 1, 200000)
+	res, err := RunShared([]Enclave{
+		{Name: "dfp", Trace: tr, Pages: 1024, Scheme: DFP},
+		{Name: "plain", Trace: tr, Pages: 1024, Scheme: Baseline},
+	}, SharedConfig{EPCPages: 1536})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]SharedResult{}
+	for _, r := range res {
+		byName[r.Name] = r
+	}
+	if byName["dfp"].Kernel.PreloadsStarted == 0 {
+		t.Error("DFP enclave started no preloads")
+	}
+	if byName["plain"].Kernel.PreloadsStarted != 0 {
+		t.Error("baseline enclave charged with preloads")
+	}
+}
+
+func TestRunSharedDeterminism(t *testing.T) {
+	tr := seqTrace(300, 2, 7000)
+	run := func() []SharedResult {
+		res, err := RunShared([]Enclave{
+			{Name: "a", Trace: tr, Pages: 512, Scheme: DFPStop},
+			{Name: "b", Trace: tr, Pages: 512, Scheme: Baseline},
+		}, SharedConfig{EPCPages: 256})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("shared run not deterministic: %+v vs %+v", a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,231 @@
+// Package sim is the execution engine: it drives a page-level access
+// trace through the modeled enclave under a chosen preloading scheme and
+// accumulates virtual time.
+//
+// The engine models the enclave application thread. All OS-side behavior
+// (fault handling, preloading, eviction, the service thread) lives in
+// package kernel; the engine's job is the enclave-side protocol: regular
+// accesses, and — when SIP instruments the access site — the
+// BIT_MAP_CHECK of the shared presence bitmap followed by a preload
+// notification instead of a fault.
+package sim
+
+import (
+	"fmt"
+
+	"sgxpreload/internal/core"
+	"sgxpreload/internal/dfp"
+	"sgxpreload/internal/epc"
+	"sgxpreload/internal/kernel"
+	"sgxpreload/internal/mem"
+	"sgxpreload/internal/sip"
+)
+
+// Scheme selects the preloading configuration of a run.
+type Scheme int
+
+// Schemes evaluated in the paper.
+const (
+	// Baseline: vanilla SGX driver, no preloading.
+	Baseline Scheme = iota
+	// DFP: dynamic fault-history-based preloading (§3.1).
+	DFP
+	// DFPStop: DFP with the global abort safety valve (§4.2).
+	DFPStop
+	// SIP: source-level instrumentation-based preloading (§3.2).
+	SIP
+	// Hybrid: DFP-stop and SIP together (§5.4).
+	Hybrid
+)
+
+// String returns the paper's name for the scheme.
+func (s Scheme) String() string {
+	switch s {
+	case Baseline:
+		return "baseline"
+	case DFP:
+		return "DFP"
+	case DFPStop:
+		return "DFP-stop"
+	case SIP:
+		return "SIP"
+	case Hybrid:
+		return "SIP+DFP"
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// UsesDFP reports whether the scheme runs the fault-history predictor.
+func (s Scheme) UsesDFP() bool { return s == DFP || s == DFPStop || s == Hybrid }
+
+// UsesSIP reports whether the scheme consults an instrumentation
+// selection.
+func (s Scheme) UsesSIP() bool { return s == SIP || s == Hybrid }
+
+// Config configures a run.
+type Config struct {
+	// Scheme is the preloading configuration.
+	Scheme Scheme
+	// Costs is the cycle cost model; zero value means mem.DefaultCostModel.
+	Costs mem.CostModel
+	// EPCPages is the EPC capacity in frames.
+	EPCPages int
+	// ELRangePages is the enclave's virtual range; must cover every page
+	// the trace touches.
+	ELRangePages uint64
+	// DFP configures the predictor for DFP/DFP-stop/hybrid schemes. The
+	// Stop field is forced on for DFPStop and Hybrid.
+	DFP dfp.Config
+	// Selection is the SIP instrumentation-site set (from profiling); used
+	// by SIP and Hybrid schemes.
+	Selection *sip.Selection
+	// ScanPeriod and MaxPending pass through to the kernel; zero selects
+	// defaults.
+	ScanPeriod uint64
+	MaxPending int
+	// Predictor selects the fault-history strategy for DFP-style schemes;
+	// the zero value is the paper's multiple-stream recognizer. Used by
+	// the predictor ablation.
+	Predictor core.Kind
+	// EvictPolicy selects the EPC victim-selection algorithm; the zero
+	// value is the driver's CLOCK. Used by the eviction ablation.
+	EvictPolicy epc.Policy
+	// BackgroundReclaim enables the ksgxswapd-style watermark reclaimer
+	// (see kernel.Config); used by the reclaim ablation.
+	BackgroundReclaim bool
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	// Scheme echoes the configuration.
+	Scheme Scheme
+	// Cycles is the application's total virtual execution time.
+	Cycles uint64
+	// Accesses is the number of trace accesses executed.
+	Accesses uint64
+	// Hits counts accesses whose page was resident.
+	Hits uint64
+	// SIPChecks counts executed BIT_MAP_CHECKs; SIPPresent counts those
+	// that found the page resident (pure overhead).
+	SIPChecks  uint64
+	SIPPresent uint64
+	// PrefetchChecks and PrefetchIssued count oracle-inserted early
+	// notifications (eager-SIP ablation only).
+	PrefetchChecks uint64
+	PrefetchIssued uint64
+	// ComputeCycles is the trace's own computation time (scheme
+	// independent).
+	ComputeCycles uint64
+	// Kernel carries the OS-side counters.
+	Kernel kernel.Stats
+}
+
+// Faults returns the number of demand faults taken.
+func (r Result) Faults() uint64 { return r.Kernel.DemandFaults }
+
+// FaultCycles returns the time attributable to the enclave fault protocol.
+func (r Result) FaultCycles() uint64 {
+	return r.Kernel.AEXCycles + r.Kernel.LoadWaitCycles + r.Kernel.EresumeCycles
+}
+
+// Run executes the trace under cfg and returns the result.
+func Run(trace []mem.Access, cfg Config) (Result, error) {
+	if cfg.Costs == (mem.CostModel{}) {
+		cfg.Costs = mem.DefaultCostModel()
+	}
+	if err := cfg.Costs.Validate(); err != nil {
+		return Result{}, err
+	}
+	if cfg.ELRangePages == 0 {
+		return Result{}, fmt.Errorf("sim: ELRangePages must be set")
+	}
+
+	kcfg := kernel.Config{
+		Costs:        cfg.Costs,
+		EPCPages:     cfg.EPCPages,
+		ELRangePages: cfg.ELRangePages,
+		ScanPeriod:   cfg.ScanPeriod,
+		MaxPending:   cfg.MaxPending,
+		EvictPolicy:  cfg.EvictPolicy,
+
+		BackgroundReclaim: cfg.BackgroundReclaim,
+	}
+	if cfg.Scheme.UsesDFP() {
+		d := cfg.DFP
+		if d.StreamListLen == 0 && d.LoadLength == 0 {
+			d = dfp.DefaultConfig()
+		}
+		if cfg.Scheme == DFPStop || cfg.Scheme == Hybrid {
+			d.Stop = true
+		}
+		if cfg.Predictor != "" && cfg.Predictor != core.KindMultiStream {
+			pred, err := core.NewPredictor(cfg.Predictor, d)
+			if err != nil {
+				return Result{}, err
+			}
+			kcfg.Predictor = pred
+		} else {
+			kcfg.DFP = &d
+		}
+	}
+	k, err := kernel.New(kcfg)
+	if err != nil {
+		return Result{}, err
+	}
+
+	var sel *sip.Selection
+	if cfg.Scheme.UsesSIP() {
+		sel = cfg.Selection
+	}
+	bitmap := k.EPC().PresenceBitmap()
+
+	res := Result{Scheme: cfg.Scheme}
+	var t uint64
+	for _, acc := range trace {
+		t += acc.Compute
+		res.ComputeCycles += acc.Compute
+		res.Accesses++
+		k.MaybeScan(t)
+		k.Sync(t)
+
+		if acc.Prefetch {
+			// Oracle-inserted early notification: check the bitmap, post
+			// an asynchronous load if absent, continue without waiting.
+			t += cfg.Costs.BitmapCheck
+			res.PrefetchChecks++
+			if !bitmap.Get(uint64(acc.Page)) {
+				t += cfg.Costs.Notify
+				k.QueuePrefetch(t, acc.Page)
+				res.PrefetchIssued++
+			}
+			res.Accesses--
+			continue
+		}
+
+		if sel.Instrumented(acc.Site) {
+			// SIP: BIT_MAP_CHECK before the access.
+			t += cfg.Costs.BitmapCheck
+			res.SIPChecks++
+			if bitmap.Get(uint64(acc.Page)) {
+				res.SIPPresent++
+			} else {
+				// Absent: notify the kernel preload thread and wait for
+				// the load without leaving the enclave.
+				t += cfg.Costs.Notify
+				t = k.NotifyLoad(t, acc.Page)
+			}
+		}
+
+		if k.Touch(acc.Page) {
+			res.Hits++
+			t += cfg.Costs.Hit
+			continue
+		}
+		t = k.HandleFault(t, acc.Page)
+		t += cfg.Costs.Hit
+	}
+	res.Cycles = t
+	res.Kernel = k.Stats()
+	return res, nil
+}

@@ -1,0 +1,129 @@
+// Package stats provides the small statistical helpers the evaluation
+// uses: means, normalization against a baseline, improvement percentages,
+// and fixed-width table rendering for the experiment reports.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Mean returns the arithmetic mean of xs (0 for an empty slice). The paper
+// reports arithmetic means over five runs; the simulator is deterministic,
+// so means here aggregate across benchmarks instead.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// GeoMean returns the geometric mean of xs (0 if any x <= 0 or empty).
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}
+
+// Normalized returns value/baseline — the "normalized execution time" of
+// the paper's figures (1.0 = baseline, below 1.0 = faster). It returns
+// NaN when baseline is 0.
+func Normalized(value, baseline uint64) float64 {
+	if baseline == 0 {
+		return math.NaN()
+	}
+	return float64(value) / float64(baseline)
+}
+
+// ImprovementPct returns the performance improvement of value over
+// baseline in percent: positive = faster than baseline.
+func ImprovementPct(value, baseline uint64) float64 {
+	if baseline == 0 {
+		return 0
+	}
+	return 100 * (1 - float64(value)/float64(baseline))
+}
+
+// Table renders rows as a fixed-width text table with the given header.
+// Cells are right-aligned except the first column.
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// Add appends a row; values are formatted with %v.
+func (t *Table) Add(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	cols := len(t.Header)
+	for _, r := range t.Rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	widths := make([]int, cols)
+	measure := func(r []string) {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	measure(t.Header)
+	for _, r := range t.Rows {
+		measure(r)
+	}
+	var b strings.Builder
+	writeRow := func(r []string) {
+		for i := 0; i < cols; i++ {
+			var cell string
+			if i < len(r) {
+				cell = r[i]
+			}
+			if i == 0 {
+				fmt.Fprintf(&b, "%-*s", widths[i], cell)
+			} else {
+				fmt.Fprintf(&b, "  %*s", widths[i], cell)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	if len(t.Header) > 0 {
+		writeRow(t.Header)
+		total := 0
+		for _, w := range widths {
+			total += w + 2
+		}
+		b.WriteString(strings.Repeat("-", total-2))
+		b.WriteByte('\n')
+	}
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return b.String()
+}

@@ -1,0 +1,92 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestMean(t *testing.T) {
+	tests := []struct {
+		name string
+		xs   []float64
+		want float64
+	}{
+		{"empty", nil, 0},
+		{"single", []float64{4}, 4},
+		{"several", []float64{1, 2, 3, 4}, 2.5},
+		{"negative", []float64{-2, 2}, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Mean(tt.xs); got != tt.want {
+				t.Fatalf("Mean(%v) = %v, want %v", tt.xs, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{1, 4}); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("GeoMean(1,4) = %v, want 2", got)
+	}
+	if got := GeoMean(nil); got != 0 {
+		t.Fatalf("GeoMean(nil) = %v, want 0", got)
+	}
+	if got := GeoMean([]float64{1, -1}); got != 0 {
+		t.Fatalf("GeoMean with negative = %v, want 0", got)
+	}
+}
+
+func TestNormalized(t *testing.T) {
+	if got := Normalized(50, 100); got != 0.5 {
+		t.Fatalf("Normalized(50, 100) = %v", got)
+	}
+	if got := Normalized(1, 0); !math.IsNaN(got) {
+		t.Fatalf("Normalized(_, 0) = %v, want NaN", got)
+	}
+}
+
+func TestImprovementPct(t *testing.T) {
+	tests := []struct {
+		value, base uint64
+		want        float64
+	}{
+		{90, 100, 10},
+		{110, 100, -10},
+		{100, 100, 0},
+		{5, 0, 0},
+	}
+	for _, tt := range tests {
+		if got := ImprovementPct(tt.value, tt.base); math.Abs(got-tt.want) > 1e-9 {
+			t.Fatalf("ImprovementPct(%d, %d) = %v, want %v", tt.value, tt.base, got, tt.want)
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := &Table{Header: []string{"name", "value"}}
+	tbl.Add("alpha", 12)
+	tbl.Add("b", 3.14159)
+	out := tbl.String()
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "3.142") {
+		t.Fatalf("table output missing cells:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // header, rule, two rows
+		t.Fatalf("table has %d lines, want 4:\n%s", len(lines), out)
+	}
+	// Columns must align: every line has the same prefix width for col 1.
+	if !strings.HasPrefix(lines[2], "alpha") || !strings.HasPrefix(lines[3], "b    ") {
+		t.Fatalf("first column not left-aligned:\n%s", out)
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	tbl := &Table{Header: []string{"a"}}
+	tbl.Add("x", 1, 2)
+	out := tbl.String()
+	if !strings.Contains(out, "2") {
+		t.Fatalf("extra cells dropped:\n%s", out)
+	}
+}

@@ -1,0 +1,104 @@
+package trace
+
+// Phase segmentation. The paper's offline analysis (§3.1) fits the
+// collected page traces "with curve fitting" to find access-pattern
+// phases: Figure 3's plots are piecewise-linear ramps (lbm's repeated
+// sweeps, bwaves' banded arrays) or unstructured clouds (deepsjeng).
+// SegmentedFit recovers that structure: it splits a page-versus-time
+// series into segments whose linear fits explain the data, using greedy
+// binary splitting on residual error.
+
+// Segment is one fitted phase of a page-access pattern.
+type Segment struct {
+	// Start and End bound the segment's samples: [Start, End) indices
+	// into the input slice.
+	Start, End int
+	// Fit is the segment's least-squares line.
+	Fit Fit
+}
+
+// Len returns the number of samples in the segment.
+func (s Segment) Len() int { return s.End - s.Start }
+
+// SegmentedFit splits samples into at most maxSegments phases, splitting
+// greedily at the point that reduces the summed squared residual the
+// most, and stopping early when a split no longer improves the residual
+// by at least minGain (a fraction of the current total, e.g. 0.05).
+func SegmentedFit(samples []Sample, maxSegments int, minGain float64) []Segment {
+	if len(samples) == 0 || maxSegments < 1 {
+		return nil
+	}
+	segs := []Segment{{Start: 0, End: len(samples), Fit: FitLinear(samples)}}
+	sse := make([]float64, 1)
+	sse[0] = residual(samples[0:len(samples)], segs[0].Fit)
+
+	for len(segs) < maxSegments {
+		// Find the best single split across all current segments.
+		bestSeg, bestAt := -1, -1
+		bestGain := 0.0
+		var bestLeft, bestRight Fit
+		total := 0.0
+		for _, e := range sse {
+			total += e
+		}
+		if total == 0 {
+			break
+		}
+		for si, seg := range segs {
+			if seg.Len() < 8 {
+				continue
+			}
+			left, right, at, gain := bestSplit(samples, seg, sse[si])
+			if at >= 0 && gain > bestGain {
+				bestSeg, bestAt, bestGain = si, at, gain
+				bestLeft, bestRight = left, right
+			}
+		}
+		if bestSeg < 0 || bestGain < minGain*total {
+			break
+		}
+		seg := segs[bestSeg]
+		l := Segment{Start: seg.Start, End: bestAt, Fit: bestLeft}
+		r := Segment{Start: bestAt, End: seg.End, Fit: bestRight}
+		segs = append(segs, Segment{})
+		copy(segs[bestSeg+2:], segs[bestSeg+1:])
+		segs[bestSeg], segs[bestSeg+1] = l, r
+		sse = append(sse, 0)
+		copy(sse[bestSeg+2:], sse[bestSeg+1:])
+		sse[bestSeg] = residual(samples[l.Start:l.End], l.Fit)
+		sse[bestSeg+1] = residual(samples[r.Start:r.End], r.Fit)
+	}
+	return segs
+}
+
+// bestSplit finds the split of seg minimizing the children's summed
+// residual. It evaluates candidate split points on a coarse grid (every
+// ~1/32 of the segment) — O(n) per candidate is fine at Recorder sample
+// counts. It returns the children's fits, the split index, and the
+// residual reduction; at = -1 if no split helps.
+func bestSplit(samples []Sample, seg Segment, parentSSE float64) (left, right Fit, at int, gain float64) {
+	at = -1
+	step := seg.Len() / 32
+	if step < 4 {
+		step = 4
+	}
+	for i := seg.Start + 4; i <= seg.End-4; i += step {
+		lf := FitLinear(samples[seg.Start:i])
+		rf := FitLinear(samples[i:seg.End])
+		child := residual(samples[seg.Start:i], lf) + residual(samples[i:seg.End], rf)
+		if g := parentSSE - child; g > gain {
+			left, right, at, gain = lf, rf, i, g
+		}
+	}
+	return left, right, at, gain
+}
+
+// residual returns the summed squared residual of the fit over samples.
+func residual(samples []Sample, f Fit) float64 {
+	var sse float64
+	for _, s := range samples {
+		d := float64(s.Page) - (f.Slope*float64(s.Index) + f.Intercept)
+		sse += d * d
+	}
+	return sse
+}

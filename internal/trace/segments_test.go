@@ -1,0 +1,84 @@
+package trace
+
+import (
+	"math"
+	"testing"
+
+	"sgxpreload/internal/mem"
+	"sgxpreload/internal/rng"
+)
+
+func TestSegmentedFitEmpty(t *testing.T) {
+	if got := SegmentedFit(nil, 4, 0.05); got != nil {
+		t.Fatalf("SegmentedFit(nil) = %v", got)
+	}
+	if got := SegmentedFit([]Sample{{0, 1}}, 0, 0.05); got != nil {
+		t.Fatalf("SegmentedFit with maxSegments 0 = %v", got)
+	}
+}
+
+func TestSegmentedFitSingleRamp(t *testing.T) {
+	var s []Sample
+	for i := uint64(0); i < 500; i++ {
+		s = append(s, Sample{Index: i, Page: mem.PageID(10 + 2*i)})
+	}
+	segs := SegmentedFit(s, 6, 0.05)
+	if len(segs) != 1 {
+		t.Fatalf("a perfect line split into %d segments", len(segs))
+	}
+	if math.Abs(segs[0].Fit.Slope-2) > 1e-9 {
+		t.Fatalf("slope = %v, want 2", segs[0].Fit.Slope)
+	}
+}
+
+func TestSegmentedFitTwoRamps(t *testing.T) {
+	// lbm-style: two sweeps over the same region (sawtooth).
+	var s []Sample
+	for i := uint64(0); i < 400; i++ {
+		s = append(s, Sample{Index: i, Page: mem.PageID(3 * (i % 200))})
+	}
+	segs := SegmentedFit(s, 4, 0.02)
+	if len(segs) < 2 {
+		t.Fatalf("sawtooth split into %d segments, want >= 2", len(segs))
+	}
+	// Segments must tile the input.
+	if segs[0].Start != 0 || segs[len(segs)-1].End != len(s) {
+		t.Fatalf("segments do not tile: %+v", segs)
+	}
+	for i := 1; i < len(segs); i++ {
+		if segs[i].Start != segs[i-1].End {
+			t.Fatalf("segments not contiguous: %+v", segs)
+		}
+	}
+	// Each detected ramp should fit well and have roughly slope 3.
+	for _, seg := range segs {
+		if seg.Len() > 100 && (seg.Fit.Slope < 2 || seg.Fit.Slope > 4) {
+			t.Errorf("segment [%d,%d) slope %v, want ~3", seg.Start, seg.End, seg.Fit.Slope)
+		}
+	}
+}
+
+func TestSegmentedFitRespectsMax(t *testing.T) {
+	var s []Sample
+	for i := uint64(0); i < 1000; i++ {
+		s = append(s, Sample{Index: i, Page: mem.PageID(7 * (i % 100))})
+	}
+	segs := SegmentedFit(s, 3, 0.0)
+	if len(segs) > 3 {
+		t.Fatalf("got %d segments, max 3", len(segs))
+	}
+}
+
+func TestSegmentedFitNoiseStops(t *testing.T) {
+	r := rng.New(5)
+	var s []Sample
+	for i := uint64(0); i < 600; i++ {
+		s = append(s, Sample{Index: i, Page: mem.PageID(r.Uint64n(1 << 16))})
+	}
+	// On pure noise, splits barely reduce residual: the minGain guard
+	// must keep the segmentation coarse.
+	segs := SegmentedFit(s, 16, 0.05)
+	if len(segs) > 4 {
+		t.Fatalf("noise split into %d segments; minGain guard failed", len(segs))
+	}
+}

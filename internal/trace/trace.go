@@ -1,0 +1,212 @@
+// Package trace provides the offline trace tooling of the paper's §3.1:
+// recording page-level access traces, extracting page-access patterns
+// (Figure 3), measuring sequentiality, and least-squares curve fitting —
+// the analysis the authors run on instrumented profiling runs to decide
+// which benchmarks exhibit stream behavior.
+package trace
+
+import (
+	"math"
+
+	"sgxpreload/internal/mem"
+)
+
+// Sample is one point of a page-access pattern plot: the page touched at
+// the i-th access (the paper's Figure 3 plots page number against time).
+type Sample struct {
+	// Index is the access sequence number standing in for the timestamp.
+	Index uint64
+	// Page is the page touched.
+	Page mem.PageID
+}
+
+// Recorder collects a downsampled page-access pattern from a trace.
+type Recorder struct {
+	every   uint64
+	seen    uint64
+	samples []Sample
+}
+
+// NewRecorder returns a Recorder keeping every n-th access (n >= 1).
+func NewRecorder(every uint64) *Recorder {
+	if every == 0 {
+		every = 1
+	}
+	return &Recorder{every: every}
+}
+
+// Record observes one access.
+func (r *Recorder) Record(page mem.PageID) {
+	if r.seen%r.every == 0 {
+		r.samples = append(r.samples, Sample{Index: r.seen, Page: page})
+	}
+	r.seen++
+}
+
+// Samples returns the collected pattern.
+func (r *Recorder) Samples() []Sample { return r.samples }
+
+// Pattern summarizes the page-level behavior of a trace.
+type Pattern struct {
+	// Accesses is the total number of accesses.
+	Accesses uint64
+	// Footprint is the number of distinct pages touched.
+	Footprint uint64
+	// SequentialRatio is the fraction of accesses whose page is within one
+	// page of the previous access by the same trace (|Δ| <= 1).
+	SequentialRatio float64
+	// StreamRatio is the fraction of accesses that extend one of the 30
+	// most recent streams (computed with the multi-stream recognizer's
+	// strict adjacency rule over a window of recent pages).
+	StreamRatio float64
+	// MeanRunLength is the average length of maximal |Δ| = +1 runs.
+	MeanRunLength float64
+	// Writes is the number of write accesses.
+	Writes uint64
+}
+
+// Analyze computes the Pattern of a trace.
+func Analyze(trace []mem.Access) Pattern {
+	p := Pattern{Accesses: uint64(len(trace))}
+	if len(trace) == 0 {
+		return p
+	}
+	distinct := make(map[mem.PageID]struct{}, 1024)
+	// Recent stream tails (fixed window like DFP's default stream list).
+	const window = 30
+	var tails [window]mem.PageID
+	for i := range tails {
+		tails[i] = mem.NoPage
+	}
+	tailPos := 0
+
+	var seq, stream uint64
+	var runs, runTotal uint64
+	runLen := uint64(1)
+	prev := trace[0].Page
+	distinct[prev] = struct{}{}
+	if trace[0].Write {
+		p.Writes++
+	}
+	tails[tailPos] = prev
+	tailPos = (tailPos + 1) % window
+
+	for _, a := range trace[1:] {
+		distinct[a.Page] = struct{}{}
+		if a.Write {
+			p.Writes++
+		}
+		delta := int64(a.Page) - int64(prev)
+		if delta >= -1 && delta <= 1 {
+			seq++
+		}
+		if delta == 1 {
+			runLen++
+		} else {
+			runs++
+			runTotal += runLen
+			runLen = 1
+		}
+		matched := false
+		for i := range tails {
+			if tails[i] != mem.NoPage && a.Page == tails[i]+1 {
+				tails[i] = a.Page
+				matched = true
+				break
+			}
+		}
+		if matched {
+			stream++
+		} else {
+			tails[tailPos] = a.Page
+			tailPos = (tailPos + 1) % window
+		}
+		prev = a.Page
+	}
+	runs++
+	runTotal += runLen
+
+	p.Footprint = uint64(len(distinct))
+	n := float64(len(trace) - 1)
+	if n > 0 {
+		p.SequentialRatio = float64(seq) / n
+		p.StreamRatio = float64(stream) / n
+	}
+	p.MeanRunLength = float64(runTotal) / float64(runs)
+	return p
+}
+
+// Fit is a least-squares linear fit page ≈ Slope*index + Intercept with
+// its coefficient of determination. The paper's offline analysis fits the
+// collected page traces with curves to identify sequential phases; a high
+// R² with positive slope is the "evidently sequential" signature of
+// Figure 3 (a) and (c).
+type Fit struct {
+	Slope     float64
+	Intercept float64
+	R2        float64
+}
+
+// FitLinear computes the least-squares line through the samples. It
+// returns a zero Fit for fewer than two samples.
+func FitLinear(samples []Sample) Fit {
+	n := float64(len(samples))
+	if n < 2 {
+		return Fit{}
+	}
+	var sx, sy, sxx, sxy float64
+	for _, s := range samples {
+		x, y := float64(s.Index), float64(s.Page)
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return Fit{Intercept: sy / n}
+	}
+	slope := (n*sxy - sx*sy) / den
+	intercept := (sy - slope*sx) / n
+
+	meanY := sy / n
+	var ssTot, ssRes float64
+	for _, s := range samples {
+		y := float64(s.Page)
+		pred := slope*float64(s.Index) + intercept
+		ssTot += (y - meanY) * (y - meanY)
+		ssRes += (y - pred) * (y - pred)
+	}
+	r2 := 0.0
+	if ssTot > 0 {
+		r2 = 1 - ssRes/ssTot
+		if r2 < 0 {
+			r2 = 0
+		}
+	} else if ssRes == 0 {
+		r2 = 1
+	}
+	return Fit{Slope: slope, Intercept: intercept, R2: r2}
+}
+
+// Classify applies the Table 1 criteria to a measured pattern: a footprint
+// within the EPC is a small working set; larger footprints split into
+// regular (stream-dominated) and irregular by the stream ratio.
+func (p Pattern) Classify(epcPages uint64) string {
+	if p.Footprint <= epcPages {
+		return "small working set"
+	}
+	if p.StreamRatio >= 0.5 {
+		return "large working set, regular access"
+	}
+	return "large working set, irregular access"
+}
+
+// SlopePagesPerKAccess is a convenience for reporting: fitted slope in
+// pages per thousand accesses.
+func (f Fit) SlopePagesPerKAccess() float64 {
+	if math.IsNaN(f.Slope) {
+		return 0
+	}
+	return f.Slope * 1000
+}

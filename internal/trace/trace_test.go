@@ -1,0 +1,182 @@
+package trace
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"sgxpreload/internal/mem"
+	"sgxpreload/internal/rng"
+)
+
+func accesses(pages ...uint64) []mem.Access {
+	out := make([]mem.Access, len(pages))
+	for i, p := range pages {
+		out[i] = mem.Access{Page: mem.PageID(p)}
+	}
+	return out
+}
+
+func TestAnalyzeEmpty(t *testing.T) {
+	p := Analyze(nil)
+	if p.Accesses != 0 || p.Footprint != 0 {
+		t.Fatalf("empty trace pattern = %+v", p)
+	}
+}
+
+func TestAnalyzeSequential(t *testing.T) {
+	p := Analyze(accesses(0, 1, 2, 3, 4, 5, 6, 7))
+	if p.SequentialRatio != 1 {
+		t.Errorf("sequential ratio = %v, want 1", p.SequentialRatio)
+	}
+	if p.StreamRatio != 1 {
+		t.Errorf("stream ratio = %v, want 1", p.StreamRatio)
+	}
+	if p.Footprint != 8 {
+		t.Errorf("footprint = %d, want 8", p.Footprint)
+	}
+	if p.MeanRunLength != 8 {
+		t.Errorf("mean run = %v, want 8", p.MeanRunLength)
+	}
+}
+
+func TestAnalyzeInterleavedStreams(t *testing.T) {
+	// Two interleaved ascending streams: per-access deltas are large, but
+	// the multi-stream recognizer sees both.
+	var pages []uint64
+	for i := uint64(1); i < 50; i++ {
+		pages = append(pages, 100+i, 5000+i)
+	}
+	p := Analyze(accesses(pages...))
+	if p.SequentialRatio > 0.1 {
+		t.Errorf("per-access sequential ratio = %v, want ~0", p.SequentialRatio)
+	}
+	if p.StreamRatio < 0.9 {
+		t.Errorf("stream ratio = %v, want ~1 for two clean streams", p.StreamRatio)
+	}
+}
+
+func TestAnalyzeRandom(t *testing.T) {
+	r := rng.New(3)
+	var pages []uint64
+	for i := 0; i < 5000; i++ {
+		pages = append(pages, r.Uint64n(1<<20))
+	}
+	p := Analyze(accesses(pages...))
+	if p.StreamRatio > 0.05 {
+		t.Errorf("stream ratio on random pages = %v, want ~0", p.StreamRatio)
+	}
+	if p.MeanRunLength > 1.1 {
+		t.Errorf("mean run on random pages = %v, want ~1", p.MeanRunLength)
+	}
+}
+
+func TestAnalyzeWrites(t *testing.T) {
+	tr := []mem.Access{{Page: 1, Write: true}, {Page: 2}, {Page: 3, Write: true}}
+	if p := Analyze(tr); p.Writes != 2 {
+		t.Fatalf("writes = %d, want 2", p.Writes)
+	}
+}
+
+func TestClassify(t *testing.T) {
+	tests := []struct {
+		name string
+		p    Pattern
+		want string
+	}{
+		{"small", Pattern{Footprint: 100, StreamRatio: 0.1}, "small working set"},
+		{"large regular", Pattern{Footprint: 5000, StreamRatio: 0.9}, "large working set, regular access"},
+		{"large irregular", Pattern{Footprint: 5000, StreamRatio: 0.1}, "large working set, irregular access"},
+		{"boundary", Pattern{Footprint: 2048, StreamRatio: 0}, "small working set"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.p.Classify(2048); got != tt.want {
+				t.Fatalf("Classify = %q, want %q", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestRecorderDownsamples(t *testing.T) {
+	r := NewRecorder(10)
+	for i := 0; i < 100; i++ {
+		r.Record(mem.PageID(i))
+	}
+	s := r.Samples()
+	if len(s) != 10 {
+		t.Fatalf("samples = %d, want 10", len(s))
+	}
+	if s[1].Index != 10 || s[1].Page != 10 {
+		t.Fatalf("second sample = %+v, want index 10", s[1])
+	}
+}
+
+func TestRecorderZeroEvery(t *testing.T) {
+	r := NewRecorder(0) // treated as 1
+	r.Record(5)
+	if len(r.Samples()) != 1 {
+		t.Fatal("zero-interval recorder dropped the sample")
+	}
+}
+
+func TestFitLinearPerfectLine(t *testing.T) {
+	var s []Sample
+	for i := uint64(0); i < 100; i++ {
+		s = append(s, Sample{Index: i, Page: mem.PageID(7 + 3*i)})
+	}
+	f := FitLinear(s)
+	if math.Abs(f.Slope-3) > 1e-9 || math.Abs(f.Intercept-7) > 1e-6 {
+		t.Fatalf("fit = %+v, want slope 3 intercept 7", f)
+	}
+	if f.R2 < 0.999999 {
+		t.Fatalf("R2 = %v, want ~1", f.R2)
+	}
+	if got := f.SlopePagesPerKAccess(); math.Abs(got-3000) > 1e-6 {
+		t.Fatalf("slope per k = %v, want 3000", got)
+	}
+}
+
+func TestFitLinearDegenerate(t *testing.T) {
+	if f := FitLinear(nil); f != (Fit{}) {
+		t.Fatalf("fit of nothing = %+v", f)
+	}
+	if f := FitLinear([]Sample{{Index: 1, Page: 5}}); f != (Fit{}) {
+		t.Fatalf("fit of one sample = %+v", f)
+	}
+	// Constant page: R2 defined as 1 (residuals zero).
+	f := FitLinear([]Sample{{0, 4}, {1, 4}, {2, 4}})
+	if f.Slope != 0 || f.R2 != 1 {
+		t.Fatalf("constant fit = %+v, want slope 0, R2 1", f)
+	}
+}
+
+func TestFitLinearNoiseHasLowR2(t *testing.T) {
+	r := rng.New(11)
+	var s []Sample
+	for i := uint64(0); i < 1000; i++ {
+		s = append(s, Sample{Index: i, Page: mem.PageID(r.Uint64n(1 << 20))})
+	}
+	if f := FitLinear(s); f.R2 > 0.05 {
+		t.Fatalf("R2 on noise = %v, want ~0", f.R2)
+	}
+}
+
+// Property: SequentialRatio and StreamRatio are always within [0, 1], and
+// footprint never exceeds the access count.
+func TestAnalyzeBounds(t *testing.T) {
+	f := func(seed uint64, n uint16) bool {
+		r := rng.New(seed)
+		tr := make([]mem.Access, int(n%500)+1)
+		for i := range tr {
+			tr[i] = mem.Access{Page: mem.PageID(r.Uint64n(64))}
+		}
+		p := Analyze(tr)
+		return p.SequentialRatio >= 0 && p.SequentialRatio <= 1 &&
+			p.StreamRatio >= 0 && p.StreamRatio <= 1 &&
+			p.Footprint <= p.Accesses && p.MeanRunLength >= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

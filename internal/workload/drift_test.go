@@ -1,0 +1,127 @@
+package workload
+
+import (
+	"testing"
+
+	"sgxpreload/internal/dfp"
+	"sgxpreload/internal/mem"
+	"sgxpreload/internal/sip"
+)
+
+// Behavioral tests for the train/ref input drift each benchmark model
+// encodes — the mechanics behind the paper's SIP findings. They profile
+// with the same classifier the experiments use and assert the per-model
+// properties DESIGN.md documents.
+
+func profileOf(t *testing.T, name string, in Input) *sip.Profile {
+	t.Helper()
+	w, err := ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := sip.NewClassifier(2048, w.ELRangePages(), dfp.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range w.Generate(in) {
+		cl.Record(a.Site, a.Page)
+	}
+	return cl.Profile()
+}
+
+func TestMcfWashDrift(t *testing.T) {
+	// mcf: sites profile irregular under train but run nearly resident
+	// under ref — the wash mechanism.
+	train := profileOf(t, "mcf", Train)
+	ref := profileOf(t, "mcf", Ref)
+	var trainHot, refHot int
+	for site, sp := range train.Sites {
+		if sp.IrregularRatio() >= 0.05 {
+			trainHot++
+			if rsp := ref.Site(site); rsp.IrregularRatio() >= 0.05 {
+				refHot++
+			}
+		}
+	}
+	if trainHot < 50 {
+		t.Fatalf("only %d mcf sites profile irregular at train", trainHot)
+	}
+	if float64(refHot) > 0.3*float64(trainHot) {
+		t.Errorf("%d of %d train-irregular mcf sites stay irregular at ref; drift missing",
+			refHot, trainHot)
+	}
+}
+
+func TestDeepsjengSitesStayIrregular(t *testing.T) {
+	// deepsjeng: the opposite of mcf — its probe sites stay irregular, so
+	// SIP keeps paying at ref.
+	train := profileOf(t, "deepsjeng", Train)
+	ref := profileOf(t, "deepsjeng", Ref)
+	var trainHot, refHot int
+	for site, sp := range train.Sites {
+		if sp.IrregularRatio() >= 0.05 {
+			trainHot++
+			if rsp := ref.Site(site); rsp.IrregularRatio() >= 0.04 {
+				refHot++
+			}
+		}
+	}
+	if trainHot == 0 {
+		t.Fatal("no irregular deepsjeng sites at train")
+	}
+	if float64(refHot) < 0.6*float64(trainHot) {
+		t.Errorf("only %d of %d deepsjeng sites stay irregular at ref", refHot, trainHot)
+	}
+}
+
+func TestXzScanSiteDrift(t *testing.T) {
+	// xz: the input-scan site (5001) profiles sequential under the train
+	// stream but fragments under the ref archive — so SIP leaves it alone
+	// and DFP cannot win on it either.
+	train := profileOf(t, "xz", Train)
+	ref := profileOf(t, "xz", Ref)
+	scan := mem.SiteID(5001)
+	if r := train.Site(scan).IrregularRatio(); r >= 0.05 {
+		t.Errorf("xz scan site irregular ratio at train = %.3f, want < 5%%", r)
+	}
+	if r := ref.Site(scan).IrregularRatio(); r < 0.10 {
+		t.Errorf("xz scan site irregular ratio at ref = %.3f, want fragmented (>= 10%%)", r)
+	}
+}
+
+func TestSequentialBenchmarksProfileClean(t *testing.T) {
+	// lbm, SIFT, and the microbenchmark must present no instrumentable
+	// irregular sites at train — the Table 2 zeros.
+	for _, name := range []string{"lbm", "SIFT", "microbenchmark"} {
+		p := profileOf(t, name, Train)
+		sel := sip.Select(p, 0.05, 32)
+		if sel.Points() != 0 {
+			t.Errorf("%s: %d instrumentation points from its train profile, want 0",
+				name, sel.Points())
+		}
+	}
+}
+
+func TestRomsBaitsTheRecognizer(t *testing.T) {
+	// roms emits two-page runs: the recognizer must see a substantial
+	// Class-2 population (that is what baits DFP into junk preloads).
+	p := profileOf(t, "roms", Ref)
+	var c2, total uint64
+	for _, sp := range p.Sites {
+		c2 += sp.Class2
+		total += sp.Total()
+	}
+	if ratio := float64(c2) / float64(total); ratio < 0.2 {
+		t.Errorf("roms Class-2 share = %.2f, want >= 0.2 (two-page bait runs)", ratio)
+	}
+}
+
+func TestSmallWSProfilesMostlyResident(t *testing.T) {
+	for _, w := range ByCategory(SmallWS) {
+		p := profileOf(t, w.Name, Train)
+		if share := float64(p.Faults) / float64(p.Accesses); share > 0.08 {
+			t.Errorf("%s: %.1f%% of profiled accesses fault; small-WS should be resident",
+				w.Name, 100*share)
+		}
+	}
+}

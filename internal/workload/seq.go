@@ -1,0 +1,147 @@
+package workload
+
+import (
+	"sgxpreload/internal/mem"
+)
+
+// Sequential (Table 1 "large working set with regular access") benchmark
+// models: the 1 GB-scan microbenchmark plus bwaves, lbm, and wrf from SPEC
+// CPU2017. Figure 3 of the paper shows bwaves and lbm with evidently
+// sequential page-access patterns; the generators reproduce that shape as
+// interleaved linear sweeps over multiple arrays.
+//
+// The per-access compute constants set each benchmark's fault-time
+// fraction, which bounds what preloading can recover: DFP's steady-state
+// gain on a pure stream with preload distance L is roughly
+// (L/(L+1))·faultCost/(compute+faultCost). The values below place the
+// benchmarks in the paper's measured bands (micro ≈ +18.6%, lbm ≈ +13.3%,
+// bwaves and wrf around the regular-set average of +11.4%).
+
+// Site IDs. Each array sweep is one static source site (the paper's
+// instrumenter works per memory instruction; a sweep loop body is one).
+const (
+	siteMicroScan  mem.SiteID = 1
+	siteLbmBase    mem.SiteID = 100 // +k per lattice array
+	siteBwavesBase mem.SiteID = 200 // +k per array
+	siteBwavesAux  mem.SiteID = 280 // occasional indirect access
+	siteWrfBase    mem.SiteID = 300 // +k per field array
+	siteWrfAux     mem.SiteID = 380
+)
+
+// Microbenchmark: a loop sequentially touching a 1 GB region (§1 reports a
+// 46x slowdown for it inside SGX). Scaled, the region is 4x the default
+// experiment EPC. Compute per page is small — the loop does almost nothing
+// but touch memory — so its runtime is fault-dominated, which is why the
+// paper sees its largest DFP gain (+18.6%) here.
+var Micro = register(&Workload{
+	Name:           "microbenchmark",
+	Category:       LargeRegular,
+	Language:       LangC,
+	Instrumentable: true,
+	FootprintPages: 8192,
+	gen: func(in Input, b *builder) {
+		pages, passes := uint64(8192), 3
+		if in == Train {
+			pages, passes = 4096, 1
+		}
+		for p := 0; p < passes; p++ {
+			for pg := uint64(0); pg < pages; pg++ {
+				b.emit(siteMicroScan, mem.PageID(pg), 3500+b.r.Uint64n(1000))
+			}
+		}
+	},
+})
+
+// lbm: lattice-Boltzmann fluid dynamics. Sweeps source and destination
+// lattices (modeled as 6 field arrays) in lockstep every timestep — a
+// small number of concurrent sequential streams with heavy floating-point
+// work per cell (a 4 KiB page of doubles is ~512 cells of stencil math).
+var Lbm = register(&Workload{
+	Name:           "lbm",
+	Category:       LargeRegular,
+	Language:       LangC,
+	Instrumentable: true,
+	FootprintPages: 6144,
+	gen: func(in Input, b *builder) {
+		const arrays = 6
+		perArray, steps := uint64(1024), 4
+		if in == Train {
+			perArray, steps = 512, 2
+		}
+		for s := 0; s < steps; s++ {
+			for pg := uint64(0); pg < perArray; pg++ {
+				for a := uint64(0); a < arrays; a++ {
+					base := a * perArray
+					c := 330000 + b.r.Uint64n(20000)
+					if a >= arrays/2 {
+						b.emitW(siteLbmBase+mem.SiteID(a), mem.PageID(base+pg), c)
+					} else {
+						b.emit(siteLbmBase+mem.SiteID(a), mem.PageID(base+pg), c)
+					}
+				}
+			}
+		}
+	},
+})
+
+// bwaves: blast-wave simulation. Many solver arrays are swept in lockstep
+// (24 here), so recognizing all of its streams needs a stream list longer
+// than the array count — this is the benchmark that pushes Figure 6's
+// combined optimum toward a stream_list length of 30. A little irregular
+// solver traffic (boundary-condition indirection) adds list churn.
+var Bwaves = register(&Workload{
+	Name:           "bwaves",
+	Category:       LargeRegular,
+	Language:       LangFortran,
+	Instrumentable: false,
+	FootprintPages: 8160,
+	gen: func(in Input, b *builder) {
+		const arrays = 24
+		perArray, iters := uint64(340), 3
+		if in == Train {
+			perArray, iters = 170, 2
+		}
+		footprint := arrays * perArray
+		for it := 0; it < iters; it++ {
+			for pg := uint64(0); pg < perArray; pg++ {
+				for a := uint64(0); a < arrays; a++ {
+					if b.r.Chance(0.02) {
+						// Boundary indirection: a page far from any stream.
+						b.emit(siteBwavesAux, mem.PageID(b.r.Uint64n(footprint)), 30000)
+					}
+					c := 400000 + b.r.Uint64n(50000)
+					b.emit(siteBwavesBase+mem.SiteID(a), mem.PageID(a*perArray+pg), c)
+				}
+			}
+		}
+	},
+})
+
+// wrf: weather research and forecasting. Fewer concurrent field sweeps
+// than bwaves and more computation per cell.
+var Wrf = register(&Workload{
+	Name:           "wrf",
+	Category:       LargeRegular,
+	Language:       LangFortran,
+	Instrumentable: false,
+	FootprintPages: 6144,
+	gen: func(in Input, b *builder) {
+		const arrays = 8
+		perArray, iters := uint64(768), 3
+		if in == Train {
+			perArray, iters = 384, 1
+		}
+		footprint := arrays * perArray
+		for it := 0; it < iters; it++ {
+			for pg := uint64(0); pg < perArray; pg++ {
+				for a := uint64(0); a < arrays; a++ {
+					if b.r.Chance(0.005) {
+						b.emit(siteWrfAux, mem.PageID(b.r.Uint64n(footprint)), 40000)
+					}
+					c := 540000 + b.r.Uint64n(40000)
+					b.emit(siteWrfBase+mem.SiteID(a), mem.PageID(a*perArray+pg), c)
+				}
+			}
+		}
+	},
+})

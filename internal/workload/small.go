@@ -1,0 +1,47 @@
+package workload
+
+import (
+	"sgxpreload/internal/mem"
+)
+
+// Small-working-set benchmark models (Table 1's first row: cactuBSSN,
+// imagick, leela, nab, exchange2). Their footprints fit inside the EPC, so
+// after cold start they fault rarely and neither preloading scheme should
+// move them — the paper's evaluation focuses on the large-footprint rows,
+// using these to check that the schemes do no harm when there is nothing
+// to win.
+
+// smallWS builds a compact-footprint workload.
+func smallWS(name string, footprint uint64, siteBase mem.SiteID, seqShare float64, compute uint64) *Workload {
+	return register(&Workload{
+		Name:           name,
+		Category:       SmallWS,
+		Language:       LangC,
+		Instrumentable: true,
+		FootprintPages: footprint,
+		gen: func(in Input, b *builder) {
+			iters := 60000
+			if in == Train {
+				iters = 15000
+			}
+			pos := uint64(0)
+			for it := 0; it < iters; it++ {
+				if b.r.Float64() < seqShare {
+					pos = (pos + 1) % footprint
+					b.emit(siteBase, mem.PageID(pos), compute)
+				} else {
+					b.emit(siteBase+1, mem.PageID(b.r.Uint64n(footprint)), compute)
+				}
+			}
+		},
+	})
+}
+
+// The five small-working-set SPEC CPU2017 benchmarks.
+var (
+	CactuBSSN = smallWS("cactuBSSN", 1000, 7000, 0.85, 30000)
+	Imagick   = smallWS("imagick", 800, 7100, 0.80, 25000)
+	Leela     = smallWS("leela", 700, 7200, 0.30, 20000)
+	Nab       = smallWS("nab", 1024, 7300, 0.70, 35000)
+	Exchange2 = smallWS("exchange2", 256, 7400, 0.20, 15000)
+)

@@ -1,0 +1,103 @@
+package sgxpreload
+
+import (
+	"fmt"
+
+	"sgxpreload/internal/sim"
+)
+
+// Multi-enclave API. SGX shares the physical EPC among all enclaves on a
+// machine (the paper's §5.6); RunShared co-simulates several workloads on
+// one EPC and one load channel, with per-enclave preloading.
+
+// EnclaveSpec configures one enclave of a shared run.
+type EnclaveSpec struct {
+	// Workload is the enclave's program.
+	Workload Workload
+	// Scheme is the enclave's preloading configuration.
+	Scheme Scheme
+	// Selection carries the enclave's SIP instrumentation sites (from
+	// Profile); required when Scheme uses SIP.
+	Selection *Selection
+	// DFP overrides the predictor tunables (zero value = paper defaults).
+	DFP DFPConfig
+}
+
+// SharedResult is one enclave's outcome of a shared run.
+type SharedResult struct {
+	// Name is the workload's name.
+	Name string
+	Result
+}
+
+// RunShared co-simulates the enclaves' Ref traces on one shared EPC of
+// cfg.EPCPages frames. Each enclave keeps its own fault history, preload
+// queue, and counters; evictions and load-channel serialization are
+// global, so the results expose EPC contention.
+func RunShared(enclaves []EnclaveSpec, cfg Config) ([]SharedResult, error) {
+	cfg = cfg.normalize()
+	if len(enclaves) == 0 {
+		return nil, fmt.Errorf("sgxpreload: RunShared needs at least one enclave")
+	}
+	specs := make([]sim.Enclave, len(enclaves))
+	for i, e := range enclaves {
+		if e.Workload == nil {
+			return nil, fmt.Errorf("sgxpreload: enclave %d has no workload", i)
+		}
+		trace, err := convert(e.Workload, Ref)
+		if err != nil {
+			return nil, err
+		}
+		specs[i] = sim.Enclave{
+			Name:   e.Workload.Name(),
+			Trace:  trace,
+			Pages:  e.Workload.Pages(),
+			Scheme: sim.Scheme(e.Scheme),
+			DFP:    dfpFromPublic(e.DFP),
+		}
+		if e.Selection != nil {
+			specs[i].Selection = e.Selection.sel
+		}
+	}
+	res, err := sim.RunShared(specs, sim.SharedConfig{
+		Costs:    cfg.Costs,
+		EPCPages: cfg.EPCPages,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]SharedResult, len(res))
+	for i, r := range res {
+		out[i] = SharedResult{
+			Name: r.Name,
+			Result: Result{
+				Scheme:          Scheme(r.Scheme),
+				Cycles:          r.Cycles,
+				Accesses:        r.Accesses,
+				Hits:            r.Hits,
+				Faults:          r.Kernel.DemandFaults,
+				PreloadsStarted: r.Kernel.PreloadsStarted,
+				PreloadsDropped: r.Kernel.PreloadsDropped,
+				NotifyLoads:     r.Kernel.NotifyLoads,
+				StopFired:       r.Kernel.DFPStopped,
+			},
+		}
+	}
+	return out, nil
+}
+
+// dfpFromPublic maps the public tunables onto the internal config,
+// filling paper defaults.
+func dfpFromPublic(d DFPConfig) (out dfpConfig) {
+	out = defaultDFP()
+	if d.StreamListLen > 0 {
+		out.StreamListLen = d.StreamListLen
+	}
+	if d.LoadLength > 0 {
+		out.LoadLength = d.LoadLength
+	}
+	if d.StopSlack > 0 {
+		out.StopSlack = d.StopSlack
+	}
+	return out
+}

@@ -1,0 +1,94 @@
+package sgxpreload_test
+
+import (
+	"testing"
+
+	"sgxpreload"
+)
+
+func TestRunSharedFacade(t *testing.T) {
+	lbm, err := sgxpreload.Benchmark("lbm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dj, err := sgxpreload.Benchmark("deepsjeng")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sgxpreload.DefaultConfig()
+	res, err := sgxpreload.RunShared([]sgxpreload.EnclaveSpec{
+		{Workload: lbm, Scheme: sgxpreload.DFPStop},
+		{Workload: dj, Scheme: sgxpreload.Baseline},
+	}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("got %d results, want 2", len(res))
+	}
+	if res[0].Name != "lbm" || res[1].Name != "deepsjeng" {
+		t.Fatalf("result names %q, %q", res[0].Name, res[1].Name)
+	}
+	if res[0].PreloadsStarted == 0 {
+		t.Error("DFP enclave started no preloads")
+	}
+	if res[1].PreloadsStarted != 0 {
+		t.Error("baseline enclave charged with preloads")
+	}
+
+	// Contention: each must be slower than solo.
+	soloLbm, err := sgxpreload.Run(lbm, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	soloDj, err := sgxpreload.Run(dj, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[1].Cycles <= soloDj.Cycles {
+		t.Errorf("deepsjeng under contention (%d) not slower than solo (%d)",
+			res[1].Cycles, soloDj.Cycles)
+	}
+	// lbm runs DFP-stop here, so compare against its solo DFP-stop run.
+	dcfg := cfg
+	dcfg.Scheme = sgxpreload.DFPStop
+	soloLbmDFP, err := sgxpreload.Run(lbm, dcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Cycles < soloLbmDFP.Cycles {
+		t.Errorf("lbm under contention (%d) faster than solo (%d)?",
+			res[0].Cycles, soloLbmDFP.Cycles)
+	}
+	_ = soloLbm
+}
+
+func TestRunSharedValidation(t *testing.T) {
+	if _, err := sgxpreload.RunShared(nil, sgxpreload.DefaultConfig()); err == nil {
+		t.Fatal("empty enclave list accepted")
+	}
+	if _, err := sgxpreload.RunShared([]sgxpreload.EnclaveSpec{{}}, sgxpreload.DefaultConfig()); err == nil {
+		t.Fatal("nil workload accepted")
+	}
+}
+
+func TestRunSharedWithSIP(t *testing.T) {
+	dj, err := sgxpreload.Benchmark("deepsjeng")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sgxpreload.DefaultConfig()
+	sel, err := sgxpreload.Profile(dj, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sgxpreload.RunShared([]sgxpreload.EnclaveSpec{
+		{Workload: dj, Scheme: sgxpreload.SIP, Selection: sel},
+	}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].NotifyLoads == 0 {
+		t.Error("SIP enclave issued no notify loads")
+	}
+}
