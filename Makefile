@@ -1,0 +1,25 @@
+# Standard-library-only Go module; these targets are the whole toolchain.
+
+GO ?= go
+
+.PHONY: build test race bench verify
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# The parallel-vs-sequential speedup benchmark from the experiment
+# engine; compare the two lines' ns/op (>= 2x apart on >= 4 cores).
+bench:
+	$(GO) test ./internal/experiments/ -run '^$$' -bench 'BenchmarkRunAll' -benchtime 2x
+
+# The full pre-merge gate.
+verify:
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test -race ./...

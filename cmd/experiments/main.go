@@ -7,6 +7,13 @@
 //	experiments                 # run everything, print to stdout
 //	experiments -only fig8      # one experiment
 //	experiments -outdir results # also write results/<id>.txt
+//	experiments -parallel 8     # bound the sweep worker pool
+//	experiments -progress       # per-cell progress on stderr
+//
+// Each experiment fans its independent (workload, config) cells out
+// across a worker pool (default GOMAXPROCS); results are keyed by cell
+// index, so the printed tables and figures are byte-identical at any
+// -parallel setting.
 package main
 
 import (
@@ -76,6 +83,8 @@ func run(args []string, out io.Writer) error {
 		epc       = fs.Int("epc", 2048, "EPC capacity in 4KiB pages")
 		threshold = fs.Float64("threshold", 0.05, "SIP instrumentation threshold")
 		svg       = fs.Bool("svg", true, "with -outdir, also render figures as SVG")
+		parallel  = fs.Int("parallel", 0, "sweep worker pool size (0 = GOMAXPROCS; output is identical at any setting)")
+		progress  = fs.Bool("progress", false, "report per-cell sweep progress on stderr")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -85,6 +94,12 @@ func run(args []string, out io.Writer) error {
 	params.EPCPages = *epc
 	params.Threshold = *threshold
 	runner := experiments.NewRunner(params)
+	runner.SetParallelism(*parallel)
+	if *progress {
+		runner.SetProgress(func(done, total int, label string) {
+			fmt.Fprintf(os.Stderr, "  [%d/%d] %s\n", done, total, label)
+		})
+	}
 
 	want := map[string]bool{}
 	if *only != "" {

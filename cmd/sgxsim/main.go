@@ -6,6 +6,7 @@
 //	sgxsim -bench lbm -scheme dfp
 //	sgxsim -bench deepsjeng -scheme sip -threshold 0.05
 //	sgxsim -bench mixed-blood -scheme hybrid -epc 2048 -loadlength 4
+//	sgxsim -bench lbm -scheme dfp -compare -parallel 2
 //	sgxsim -list
 package main
 
@@ -19,6 +20,7 @@ import (
 	"sgxpreload/internal/core"
 	"sgxpreload/internal/dfp"
 	"sgxpreload/internal/epc"
+	"sgxpreload/internal/experiments"
 	"sgxpreload/internal/sim"
 	"sgxpreload/internal/sip"
 	"sgxpreload/internal/stats"
@@ -45,6 +47,8 @@ func run(args []string, out io.Writer) error {
 		policy     = fs.String("policy", "clock", "EPC eviction: clock | fifo | lru | random")
 		reclaim    = fs.Bool("reclaim", false, "enable the ksgxswapd-style background reclaimer")
 		compare    = fs.Bool("compare", false, "also run the baseline and report the improvement")
+		parallel   = fs.Int("parallel", 0, "worker pool for -compare (0 = GOMAXPROCS; output is identical at any setting)")
+		progress   = fs.Bool("progress", false, "report each completed run on stderr")
 		list       = fs.Bool("list", false, "list benchmarks and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -124,10 +128,28 @@ func run(args []string, out io.Writer) error {
 	}
 
 	trace := w.Generate(workload.Ref)
-	res, err := sim.Run(trace, cfg)
+
+	// With -compare, the scheme run and the baseline run are independent
+	// cells; fan them out on the sweep scheduler. Results land by index,
+	// so the report below is identical at any -parallel setting.
+	configs := []sim.Config{cfg}
+	if *compare && sch != sim.Baseline {
+		bcfg := cfg
+		bcfg.Scheme = sim.Baseline
+		bcfg.Selection = nil
+		configs = append(configs, bcfg)
+	}
+	results, err := experiments.Sweep(*parallel, len(configs), func(i int) (sim.Result, error) {
+		r, err := sim.Run(trace, configs[i])
+		if *progress && err == nil {
+			fmt.Fprintf(os.Stderr, "  %s run done\n", configs[i].Scheme)
+		}
+		return r, err
+	})
 	if err != nil {
 		return err
 	}
+	res := results[0]
 
 	fmt.Fprintf(out, "benchmark:        %s (%s)\n", w.Name, w.Category)
 	fmt.Fprintf(out, "scheme:           %s\n", res.Scheme)
@@ -146,14 +168,8 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "safety valve:     fired at cycle %d\n", res.Kernel.DFPStopCycle)
 	}
 
-	if *compare && sch != sim.Baseline {
-		bcfg := cfg
-		bcfg.Scheme = sim.Baseline
-		bcfg.Selection = nil
-		base, err := sim.Run(trace, bcfg)
-		if err != nil {
-			return err
-		}
+	if len(results) == 2 {
+		base := results[1]
 		fmt.Fprintf(out, "baseline cycles:  %d\n", base.Cycles)
 		fmt.Fprintf(out, "improvement:      %+.2f%%\n", stats.ImprovementPct(res.Cycles, base.Cycles))
 	}

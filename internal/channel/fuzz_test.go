@@ -1,0 +1,111 @@
+package channel
+
+import (
+	"testing"
+
+	"sgxpreload/internal/mem"
+)
+
+// FuzzPendingQueue drives the pending-preload queue with an arbitrary
+// interleaving of QueueBatch, PopPending, AbortBatchContaining,
+// RemovePending, and AbortPending under MaxPending pressure, and checks
+// the conservation law every request obeys: each queued request is
+// eventually popped, removed, or aborted — never duplicated, never lost.
+//
+// The seed corpus covers the interesting collisions directly (overflow
+// drops racing pops, aborting a batch that was partially popped); the
+// fuzzer explores interleavings around them.
+func FuzzPendingQueue(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 3, 1, 2, 3, 4, 5}) // one batch, then pops
+	// Overflow: enough batches to blow past maxPending, interleaved pops.
+	f.Add([]byte{0, 7, 1, 2, 3, 4, 5, 6, 7, 0, 7, 10, 11, 12, 13, 14, 15, 16, 1, 1, 0, 4, 20, 21, 22, 23})
+	// Abort a batch mid-pop, remove a page, then drain everything.
+	f.Add([]byte{0, 4, 1, 2, 3, 4, 1, 2, 2, 0, 3, 9, 8, 7, 3, 8, 4, 1, 1, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c := New()
+		const maxPending = 8
+		var queued, popped, removed uint64
+		next := func(i *int) byte {
+			if *i >= len(data) {
+				return 0
+			}
+			b := data[*i]
+			*i++
+			return b
+		}
+		for i := 0; i < len(data); {
+			prevAborted := c.Aborted()
+			switch next(&i) % 5 {
+			case 0: // queue a batch of 1..8 pages
+				k := int(next(&i)%8) + 1
+				pages := make([]mem.PageID, k)
+				for j := range pages {
+					pages[j] = mem.PageID(next(&i))
+				}
+				before := c.PendingLen()
+				dropped := c.QueueBatch(pages, 0, maxPending)
+				queued += uint64(k)
+				if got := c.PendingLen(); got > maxPending {
+					t.Fatalf("PendingLen = %d after QueueBatch, cap is %d", got, maxPending)
+				}
+				if before+k-dropped != c.PendingLen() {
+					t.Fatalf("QueueBatch accounting: %d before + %d queued - %d dropped != %d pending",
+						before, k, dropped, c.PendingLen())
+				}
+				if c.Aborted() != prevAborted+uint64(dropped) {
+					t.Fatalf("Aborted moved by %d, QueueBatch reported %d dropped",
+						c.Aborted()-prevAborted, dropped)
+				}
+			case 1:
+				before := c.PendingLen()
+				if r, ok := c.PopPending(); ok {
+					popped++
+					if before == 0 {
+						t.Fatal("PopPending succeeded on an empty queue")
+					}
+					if r.Batch == 0 {
+						t.Fatal("popped request has the zero batch tag")
+					}
+				} else if before != 0 {
+					t.Fatalf("PopPending failed with %d pending", before)
+				}
+			case 2:
+				page := mem.PageID(next(&i))
+				had := c.PendingContains(page)
+				if c.AbortBatchContaining(page) != had {
+					t.Fatalf("AbortBatchContaining(%d) disagrees with PendingContains", page)
+				}
+				if c.PendingContains(page) {
+					t.Fatalf("page %d still pending after its batch was aborted", page)
+				}
+			case 3:
+				page := mem.PageID(next(&i))
+				had := c.PendingContains(page)
+				if c.RemovePending(page) {
+					removed++
+					if !had {
+						t.Fatalf("RemovePending(%d) succeeded but PendingContains was false", page)
+					}
+				} else if had {
+					t.Fatalf("RemovePending(%d) failed but the page was pending", page)
+				}
+			case 4:
+				before := c.PendingLen()
+				if n := c.AbortPending(); n != before {
+					t.Fatalf("AbortPending dropped %d, had %d pending", n, before)
+				}
+				if c.PendingLen() != 0 {
+					t.Fatal("queue not empty after AbortPending")
+				}
+			}
+			if c.Aborted() < prevAborted {
+				t.Fatalf("Aborted went backwards: %d -> %d", prevAborted, c.Aborted())
+			}
+			if queued != popped+removed+c.Aborted()+uint64(c.PendingLen()) {
+				t.Fatalf("conservation violated: queued %d != popped %d + removed %d + aborted %d + pending %d",
+					queued, popped, removed, c.Aborted(), c.PendingLen())
+			}
+		}
+	})
+}

@@ -165,19 +165,25 @@ func (p *Predictor) OnFault(npn mem.PageID) []mem.PageID {
 }
 
 // matches reports whether a fault on npn extends the stream and in which
-// direction.
+// direction. The window tests are written without pend±1 arithmetic on
+// the comparison side: at the top of the address space pend+1 would
+// collide with the mem.NoPage sentinel (accepting every page above the
+// tail), and at the bottom pend-1 would wrap; both edges are guarded
+// explicitly instead.
 func (e *entry) matches(npn mem.PageID, backward bool) (Direction, bool) {
 	switch e.dir {
 	case Forward:
-		if npn > e.stpn && npn <= e.pend+1 {
+		// Window (stpn, pend], plus pend+1 when that page exists.
+		if npn > e.stpn && (npn <= e.pend || (e.pend < mem.NoPage-1 && npn == e.pend+1)) {
 			return Forward, true
 		}
 	case Backward:
-		if npn < e.stpn && npn+1 >= e.pend {
+		// Window [pend, stpn), plus pend-1 when that page exists.
+		if npn < e.stpn && (npn >= e.pend || (e.pend > 0 && npn == e.pend-1)) {
 			return Backward, true
 		}
 	default: // direction not yet established: require strict adjacency
-		if npn == e.stpn+1 {
+		if e.stpn < mem.NoPage-1 && npn == e.stpn+1 {
 			return Forward, true
 		}
 		if backward && e.stpn > 0 && npn == e.stpn-1 {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"sgxpreload/internal/core"
+	"sgxpreload/internal/dfp"
 	"sgxpreload/internal/epc"
 	"sgxpreload/internal/mem"
 	"sgxpreload/internal/sim"
@@ -39,29 +40,45 @@ func EPCSweep(r *Runner) (EPCSweepResult, error) {
 		EPCPages:   []int{1024, 2048, 4096, 8192, 12288},
 		Benchmarks: []string{"microbenchmark", "lbm", "deepsjeng"},
 	}
-	for _, name := range out.Benchmarks {
-		w, err := mustWorkload(name)
-		if err != nil {
-			return out, err
-		}
-		imps := make([]float64, 0, len(out.EPCPages))
-		shares := make([]float64, 0, len(out.EPCPages))
-		for _, pages := range out.EPCPages {
+	type cell struct{ imp, share float64 }
+	nP := len(out.EPCPages)
+	cells, err := sweep(r, "ablation-epc", len(out.Benchmarks)*nP,
+		func(i int) string {
+			return fmt.Sprintf("%s epc=%d", out.Benchmarks[i/nP], out.EPCPages[i%nP])
+		},
+		func(i int) (cell, error) {
+			w, err := mustWorkload(out.Benchmarks[i/nP])
+			if err != nil {
+				return cell{}, err
+			}
+			pages := out.EPCPages[i%nP]
 			base, err := sim.Run(r.Trace(w, workload.Ref), sim.Config{
 				Scheme: sim.Baseline, EPCPages: pages, ELRangePages: w.ELRangePages(),
 			})
 			if err != nil {
-				return out, err
+				return cell{}, err
 			}
 			d, err := sim.Run(r.Trace(w, workload.Ref), sim.Config{
 				Scheme: sim.DFPStop, EPCPages: pages, ELRangePages: w.ELRangePages(),
 				DFP: r.p.DFP,
 			})
 			if err != nil {
-				return out, err
+				return cell{}, err
 			}
-			imps = append(imps, stats.ImprovementPct(d.Cycles, base.Cycles))
-			shares = append(shares, float64(base.FaultCycles())/float64(base.Cycles))
+			return cell{
+				imp:   stats.ImprovementPct(d.Cycles, base.Cycles),
+				share: float64(base.FaultCycles()) / float64(base.Cycles),
+			}, nil
+		})
+	if err != nil {
+		return out, err
+	}
+	for b := range out.Benchmarks {
+		imps := make([]float64, 0, nP)
+		shares := make([]float64, 0, nP)
+		for _, c := range cells[b*nP : (b+1)*nP] {
+			imps = append(imps, c.imp)
+			shares = append(shares, c.share)
 		}
 		out.Improvement = append(out.Improvement, imps)
 		out.FaultShare = append(out.FaultShare, shares)
@@ -103,30 +120,37 @@ func PredictorAblation(r *Runner) (PredictorAblationResult, error) {
 		Kinds:      core.Kinds(),
 		Benchmarks: []string{"microbenchmark", "lbm", "deepsjeng", "roms"},
 	}
-	for _, name := range out.Benchmarks {
-		w, err := mustWorkload(name)
-		if err != nil {
-			return out, err
-		}
-		base, err := r.Run(w, sim.Baseline)
-		if err != nil {
-			return out, err
-		}
-		row := make([]float64, 0, len(out.Kinds))
-		for _, kind := range out.Kinds {
+	bases, err := r.RunAll(out.Benchmarks, []sim.Scheme{sim.Baseline})
+	if err != nil {
+		return out, err
+	}
+	nK := len(out.Kinds)
+	cells, err := sweep(r, "ablation-predictor", len(out.Benchmarks)*nK,
+		func(i int) string {
+			return out.Benchmarks[i/nK] + "/" + string(out.Kinds[i%nK])
+		},
+		func(i int) (float64, error) {
+			w, err := mustWorkload(out.Benchmarks[i/nK])
+			if err != nil {
+				return 0, err
+			}
 			res, err := sim.Run(r.Trace(w, workload.Ref), sim.Config{
 				Scheme:       sim.DFP,
 				EPCPages:     r.p.EPCPages,
 				ELRangePages: w.ELRangePages(),
 				DFP:          r.p.DFP,
-				Predictor:    kind,
+				Predictor:    out.Kinds[i%nK],
 			})
 			if err != nil {
-				return out, err
+				return 0, err
 			}
-			row = append(row, stats.ImprovementPct(res.Cycles, base.Cycles))
-		}
-		out.Improvement = append(out.Improvement, row)
+			return stats.ImprovementPct(res.Cycles, bases[i/nK][0].Cycles), nil
+		})
+	if err != nil {
+		return out, err
+	}
+	for b := range out.Benchmarks {
+		out.Improvement = append(out.Improvement, cells[b*nK:(b+1)*nK])
 	}
 	return out, nil
 }
@@ -165,27 +189,39 @@ func EvictionAblation(r *Runner) (EvictionAblationResult, error) {
 		Policies:   []epc.Policy{epc.PolicyClock, epc.PolicyLRU, epc.PolicyFIFO, epc.PolicyRandom},
 		Benchmarks: []string{"deepsjeng", "mcf", "lbm"},
 	}
-	for _, name := range out.Benchmarks {
-		w, err := mustWorkload(name)
-		if err != nil {
-			return out, err
-		}
-		var clock uint64
-		row := make([]float64, 0, len(out.Policies))
-		for _, pol := range out.Policies {
+	nPol := len(out.Policies)
+	cells, err := sweep(r, "ablation-eviction", len(out.Benchmarks)*nPol,
+		func(i int) string {
+			return out.Benchmarks[i/nPol] + "/" + out.Policies[i%nPol].String()
+		},
+		func(i int) (uint64, error) {
+			w, err := mustWorkload(out.Benchmarks[i/nPol])
+			if err != nil {
+				return 0, err
+			}
 			res, err := sim.Run(r.Trace(w, workload.Ref), sim.Config{
 				Scheme:       sim.Baseline,
 				EPCPages:     r.p.EPCPages,
 				ELRangePages: w.ELRangePages(),
-				EvictPolicy:  pol,
+				EvictPolicy:  out.Policies[i%nPol],
 			})
 			if err != nil {
-				return out, err
+				return 0, err
 			}
+			return res.Cycles, nil
+		})
+	if err != nil {
+		return out, err
+	}
+	for b := range out.Benchmarks {
+		var clock uint64
+		row := make([]float64, 0, nPol)
+		for p, pol := range out.Policies {
+			cycles := cells[b*nPol+p]
 			if pol == epc.PolicyClock {
-				clock = res.Cycles
+				clock = cycles
 			}
-			row = append(row, stats.Normalized(res.Cycles, clock))
+			row = append(row, stats.Normalized(cycles, clock))
 		}
 		out.Norm = append(out.Norm, row)
 	}
@@ -228,25 +264,40 @@ func CostSensitivity(r *Runner) (CostSensitivityResult, error) {
 	if err != nil {
 		return out, err
 	}
-	for _, load := range out.LoadCosts {
-		cm := mem.DefaultCostModel()
-		cm.Load = load
-		base, err := sim.Run(r.Trace(w, workload.Ref), sim.Config{
-			Scheme: sim.Baseline, Costs: cm,
-			EPCPages: r.p.EPCPages, ELRangePages: w.ELRangePages(),
+	type cell struct {
+		imp  float64
+		cost uint64
+	}
+	cells, err := sweep(r, "ablation-loadcost", len(out.LoadCosts),
+		func(i int) string { return fmt.Sprintf("load=%d", out.LoadCosts[i]) },
+		func(i int) (cell, error) {
+			cm := mem.DefaultCostModel()
+			cm.Load = out.LoadCosts[i]
+			base, err := sim.Run(r.Trace(w, workload.Ref), sim.Config{
+				Scheme: sim.Baseline, Costs: cm,
+				EPCPages: r.p.EPCPages, ELRangePages: w.ELRangePages(),
+			})
+			if err != nil {
+				return cell{}, err
+			}
+			d, err := sim.Run(r.Trace(w, workload.Ref), sim.Config{
+				Scheme: sim.DFPStop, Costs: cm, DFP: r.p.DFP,
+				EPCPages: r.p.EPCPages, ELRangePages: w.ELRangePages(),
+			})
+			if err != nil {
+				return cell{}, err
+			}
+			return cell{
+				imp:  stats.ImprovementPct(d.Cycles, base.Cycles),
+				cost: cm.FaultCost(),
+			}, nil
 		})
-		if err != nil {
-			return out, err
-		}
-		d, err := sim.Run(r.Trace(w, workload.Ref), sim.Config{
-			Scheme: sim.DFPStop, Costs: cm, DFP: r.p.DFP,
-			EPCPages: r.p.EPCPages, ELRangePages: w.ELRangePages(),
-		})
-		if err != nil {
-			return out, err
-		}
-		out.Improvement = append(out.Improvement, stats.ImprovementPct(d.Cycles, base.Cycles))
-		out.FaultCost = append(out.FaultCost, cm.FaultCost())
+	if err != nil {
+		return out, err
+	}
+	for _, c := range cells {
+		out.Improvement = append(out.Improvement, c.imp)
+		out.FaultCost = append(out.FaultCost, c.cost)
 	}
 	return out, nil
 }
@@ -277,17 +328,17 @@ type SharedEPCResult struct {
 // paper's §5.6 claim.
 func SharedEPC(r *Runner) (SharedEPCResult, error) {
 	out := SharedEPCResult{Names: []string{"lbm", "deepsjeng"}}
+	solos, err := r.RunAll(out.Names, []sim.Scheme{sim.Baseline})
+	if err != nil {
+		return out, err
+	}
 	var encs []sim.Enclave
-	for _, name := range out.Names {
+	for i, name := range out.Names {
 		w, err := mustWorkload(name)
 		if err != nil {
 			return out, err
 		}
-		solo, err := r.Run(w, sim.Baseline)
-		if err != nil {
-			return out, err
-		}
-		out.SoloCycles = append(out.SoloCycles, solo.Cycles)
+		out.SoloCycles = append(out.SoloCycles, solos[i][0].Cycles)
 		encs = append(encs, sim.Enclave{
 			Name:   name,
 			Trace:  r.Trace(w, workload.Ref),
@@ -357,30 +408,32 @@ func BackwardStreams(r *Runner) (BackwardStreamResult, error) {
 			trace = append(trace, mem.Access{Site: 1, Page: mem.PageID(i), Compute: 150000})
 		}
 	}
-	base, err := sim.Run(trace, sim.Config{
-		Scheme: sim.Baseline, EPCPages: r.p.EPCPages, ELRangePages: pages,
-	})
-	if err != nil {
-		return out, err
-	}
 	fwd := r.p.DFP
 	fwd.Backward = false
-	resF, err := sim.Run(trace, sim.Config{
-		Scheme: sim.DFP, EPCPages: r.p.EPCPages, ELRangePages: pages, DFP: fwd,
-	})
-	if err != nil {
-		return out, err
-	}
 	bwd := r.p.DFP
 	bwd.Backward = true
-	resB, err := sim.Run(trace, sim.Config{
-		Scheme: sim.DFP, EPCPages: r.p.EPCPages, ELRangePages: pages, DFP: bwd,
-	})
+	configs := []struct {
+		name   string
+		scheme sim.Scheme
+		dfp    dfp.Config
+	}{
+		{"baseline", sim.Baseline, dfp.Config{}},
+		{"forward", sim.DFP, fwd},
+		{"backward", sim.DFP, bwd},
+	}
+	res, err := sweep(r, "ablation-backward", len(configs),
+		func(i int) string { return configs[i].name },
+		func(i int) (sim.Result, error) {
+			return sim.Run(trace, sim.Config{
+				Scheme: configs[i].scheme, EPCPages: r.p.EPCPages,
+				ELRangePages: pages, DFP: configs[i].dfp,
+			})
+		})
 	if err != nil {
 		return out, err
 	}
-	out.ForwardOnlyImprovement = stats.ImprovementPct(resF.Cycles, base.Cycles)
-	out.WithBackwardImprovement = stats.ImprovementPct(resB.Cycles, base.Cycles)
+	out.ForwardOnlyImprovement = stats.ImprovementPct(res[1].Cycles, res[0].Cycles)
+	out.WithBackwardImprovement = stats.ImprovementPct(res[2].Cycles, res[0].Cycles)
 	return out, nil
 }
 
@@ -407,27 +460,38 @@ type ReclaimAblationResult struct {
 // the price of periodic write-back bursts on the load channel.
 func ReclaimAblation(r *Runner) (ReclaimAblationResult, error) {
 	out := ReclaimAblationResult{Benchmarks: []string{"microbenchmark", "lbm", "deepsjeng"}}
-	for _, name := range out.Benchmarks {
-		w, err := mustWorkload(name)
-		if err != nil {
-			return out, err
-		}
-		sync, err := sim.Run(r.Trace(w, workload.Ref), sim.Config{
-			Scheme: sim.Baseline, EPCPages: r.p.EPCPages, ELRangePages: w.ELRangePages(),
+	type cell struct {
+		sync, bg, bgEvicts uint64
+	}
+	cells, err := sweep(r, "ablation-reclaim", len(out.Benchmarks),
+		func(i int) string { return out.Benchmarks[i] },
+		func(i int) (cell, error) {
+			w, err := mustWorkload(out.Benchmarks[i])
+			if err != nil {
+				return cell{}, err
+			}
+			sync, err := sim.Run(r.Trace(w, workload.Ref), sim.Config{
+				Scheme: sim.Baseline, EPCPages: r.p.EPCPages, ELRangePages: w.ELRangePages(),
+			})
+			if err != nil {
+				return cell{}, err
+			}
+			bg, err := sim.Run(r.Trace(w, workload.Ref), sim.Config{
+				Scheme: sim.Baseline, EPCPages: r.p.EPCPages, ELRangePages: w.ELRangePages(),
+				BackgroundReclaim: true,
+			})
+			if err != nil {
+				return cell{}, err
+			}
+			return cell{sync: sync.Cycles, bg: bg.Cycles, bgEvicts: bg.Kernel.BackgroundEvictions}, nil
 		})
-		if err != nil {
-			return out, err
-		}
-		bg, err := sim.Run(r.Trace(w, workload.Ref), sim.Config{
-			Scheme: sim.Baseline, EPCPages: r.p.EPCPages, ELRangePages: w.ELRangePages(),
-			BackgroundReclaim: true,
-		})
-		if err != nil {
-			return out, err
-		}
-		out.SyncCycles = append(out.SyncCycles, sync.Cycles)
-		out.BackgroundCycles = append(out.BackgroundCycles, bg.Cycles)
-		out.BgEvicts = append(out.BgEvicts, bg.Kernel.BackgroundEvictions)
+	if err != nil {
+		return out, err
+	}
+	for _, c := range cells {
+		out.SyncCycles = append(out.SyncCycles, c.sync)
+		out.BackgroundCycles = append(out.BackgroundCycles, c.bg)
+		out.BgEvicts = append(out.BgEvicts, c.bgEvicts)
 	}
 	return out, nil
 }
@@ -475,22 +539,28 @@ func EagerSIP(r *Runner) (EagerSIPResult, error) {
 		return out, err
 	}
 	trace := r.Trace(w, workload.Ref)
-	for _, lead := range out.Leads {
-		tr := trace
-		if lead > 0 {
-			tr = insertPrefetches(trace, sel, lead)
-		}
-		res, err := sim.Run(tr, sim.Config{
-			Scheme:       sim.SIP,
-			EPCPages:     r.p.EPCPages,
-			ELRangePages: w.ELRangePages(),
-			Selection:    sel,
+	imps, err := sweep(r, "ablation-eager", len(out.Leads),
+		func(i int) string { return fmt.Sprintf("lead=%d", out.Leads[i]) },
+		func(i int) (float64, error) {
+			tr := trace
+			if out.Leads[i] > 0 {
+				tr = insertPrefetches(trace, sel, out.Leads[i])
+			}
+			res, err := sim.Run(tr, sim.Config{
+				Scheme:       sim.SIP,
+				EPCPages:     r.p.EPCPages,
+				ELRangePages: w.ELRangePages(),
+				Selection:    sel,
+			})
+			if err != nil {
+				return 0, err
+			}
+			return stats.ImprovementPct(res.Cycles, base.Cycles), nil
 		})
-		if err != nil {
-			return out, err
-		}
-		out.Improvement = append(out.Improvement, stats.ImprovementPct(res.Cycles, base.Cycles))
+	if err != nil {
+		return out, err
 	}
+	out.Improvement = imps
 	return out, nil
 }
 

@@ -1,0 +1,49 @@
+package experiments
+
+import "sync"
+
+// memo is a concurrency-safe memoization table with single-flight fills:
+// the first goroutine to request a key runs the fill function, and every
+// concurrent requester blocks on that same fill and shares its result.
+// A parallel sweep therefore never generates the same trace or profile
+// twice — the invariant the sequential Runner got for free.
+//
+// Fills are per-key, so two workers filling different keys proceed
+// concurrently; only requests for the same key serialize.
+type memo[K comparable, V any] struct {
+	mu sync.Mutex
+	m  map[K]*memoEntry[V]
+}
+
+type memoEntry[V any] struct {
+	once sync.Once
+	val  V
+	err  error
+}
+
+// newMemo returns an empty table.
+func newMemo[K comparable, V any]() *memo[K, V] {
+	return &memo[K, V]{m: make(map[K]*memoEntry[V])}
+}
+
+// get returns the value for k, running fill exactly once per key across
+// all goroutines. An error is cached like a value: the fill is not
+// retried, so every caller sees the same outcome.
+func (c *memo[K, V]) get(k K, fill func() (V, error)) (V, error) {
+	c.mu.Lock()
+	e, ok := c.m[k]
+	if !ok {
+		e = &memoEntry[V]{}
+		c.m[k] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() { e.val, e.err = fill() })
+	return e.val, e.err
+}
+
+// size returns the number of keys present (filled or in flight).
+func (c *memo[K, V]) size() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}

@@ -13,6 +13,8 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"sgxpreload/internal/dfp"
 	"sgxpreload/internal/mem"
@@ -49,11 +51,20 @@ func Default() Params {
 
 // Runner executes experiment runs with caching: generated traces and SIP
 // profiles are deterministic per (workload, input), so sweeps reuse them.
+// The caches are single-flight and safe for concurrent use, and every
+// sweep-style experiment fans its cells out across the runner's worker
+// pool (SetParallelism); results are keyed by cell index, so the output
+// is byte-identical at any worker count.
 type Runner struct {
-	p          Params
-	traces     map[traceKey][]mem.Access
-	selections map[string]*sip.Selection
-	profiles   map[string]*sip.Profile
+	p       Params
+	workers int
+
+	progressMu sync.Mutex
+	progress   Progress
+
+	traces     *memo[traceKey, []mem.Access]
+	selections *memo[string, *sip.Selection]
+	profiles   *memo[string, *sip.Profile]
 }
 
 type traceKey struct {
@@ -61,61 +72,85 @@ type traceKey struct {
 	in   workload.Input
 }
 
-// NewRunner returns a Runner with the given parameters.
+// NewRunner returns a Runner with the given parameters and a worker pool
+// sized to GOMAXPROCS.
 func NewRunner(p Params) *Runner {
 	return &Runner{
 		p:          p,
-		traces:     make(map[traceKey][]mem.Access),
-		selections: make(map[string]*sip.Selection),
-		profiles:   make(map[string]*sip.Profile),
+		workers:    runtime.GOMAXPROCS(0),
+		traces:     newMemo[traceKey, []mem.Access](),
+		selections: newMemo[string, *sip.Selection](),
+		profiles:   newMemo[string, *sip.Profile](),
 	}
 }
 
 // Params returns the runner's parameters.
 func (r *Runner) Params() Params { return r.p }
 
-// Trace returns the (cached) access trace of a workload input.
-func (r *Runner) Trace(w *workload.Workload, in workload.Input) []mem.Access {
-	k := traceKey{w.Name, in}
-	if t, ok := r.traces[k]; ok {
-		return t
+// SetParallelism bounds the worker pool for sweeps: 1 is fully
+// sequential, n <= 0 resets to GOMAXPROCS. Tables and figures are
+// identical at every setting; only wall-clock time changes.
+func (r *Runner) SetParallelism(n int) {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
 	}
-	t := w.Generate(in)
-	r.traces[k] = t
+	r.workers = n
+}
+
+// Parallelism returns the current worker-pool bound.
+func (r *Runner) Parallelism() int { return r.workers }
+
+// SetProgress installs a per-cell completion callback (nil disables).
+// Calls are serialized by the runner.
+func (r *Runner) SetProgress(p Progress) { r.progress = p }
+
+// reportCell forwards one completed cell to the progress callback.
+func (r *Runner) reportCell(done, total int, label string) {
+	if r.progress == nil {
+		return
+	}
+	r.progressMu.Lock()
+	defer r.progressMu.Unlock()
+	if r.progress != nil {
+		r.progress(done, total, label)
+	}
+}
+
+// Trace returns the (cached) access trace of a workload input. The fill
+// is single-flight: concurrent sweep workers requesting the same trace
+// share one generation.
+func (r *Runner) Trace(w *workload.Workload, in workload.Input) []mem.Access {
+	t, _ := r.traces.get(traceKey{w.Name, in}, func() ([]mem.Access, error) {
+		return w.Generate(in), nil
+	})
 	return t
 }
 
 // Profile returns the (cached) SIP profile of a workload, built by
 // classifying its train-input trace.
 func (r *Runner) Profile(w *workload.Workload) (*sip.Profile, error) {
-	if p, ok := r.profiles[w.Name]; ok {
-		return p, nil
-	}
-	cl, err := sip.NewClassifier(r.p.EPCPages, w.ELRangePages(), r.p.DFP)
-	if err != nil {
-		return nil, fmt.Errorf("profile %s: %w", w.Name, err)
-	}
-	for _, a := range r.Trace(w, workload.Train) {
-		cl.Record(a.Site, a.Page)
-	}
-	p := cl.Profile()
-	r.profiles[w.Name] = p
-	return p, nil
+	return r.profiles.get(w.Name, func() (*sip.Profile, error) {
+		cl, err := sip.NewClassifier(r.p.EPCPages, w.ELRangePages(), r.p.DFP)
+		if err != nil {
+			return nil, fmt.Errorf("profile %s: %w", w.Name, err)
+		}
+		for _, a := range r.Trace(w, workload.Train) {
+			cl.Record(a.Site, a.Page)
+		}
+		return cl.Profile(), nil
+	})
 }
 
 // Selection returns the (cached) instrumentation-site selection of a
 // workload at the runner's threshold.
 func (r *Runner) Selection(w *workload.Workload) (*sip.Selection, error) {
-	if s, ok := r.selections[w.Name]; ok {
-		return s, nil
-	}
-	p, err := r.Profile(w)
-	if err != nil {
-		return nil, err
-	}
-	s := sip.Select(p, r.p.Threshold, r.p.MinSiteAccesses)
-	r.selections[w.Name] = s
-	return s, nil
+	return r.selections.get(w.Name, func() (*sip.Selection, error) {
+		p, err := r.Profile(w)
+		if err != nil {
+			return nil, err
+		}
+		return sip.Select(p, r.p.Threshold, r.p.MinSiteAccesses), nil
+	})
 }
 
 // SelectionAt returns an uncached selection at an explicit threshold
@@ -156,6 +191,33 @@ func (r *Runner) RunDFP(w *workload.Workload, scheme sim.Scheme, d dfp.Config) (
 		return sim.Result{}, fmt.Errorf("experiments: %s/%s: %w", w.Name, scheme, err)
 	}
 	return res, nil
+}
+
+// RunAll executes the full (workload, scheme) grid in parallel on the
+// runner's worker pool and returns results indexed [i][j] to match
+// names[i] and schemes[j]. Cells are independent simulations; the shared
+// trace/profile caches fill single-flight, and results land by index, so
+// RunAll(names, schemes) is deterministic at any parallelism.
+func (r *Runner) RunAll(names []string, schemes []sim.Scheme) ([][]sim.Result, error) {
+	cells, err := sweep(r, "grid", len(names)*len(schemes),
+		func(i int) string {
+			return names[i/len(schemes)] + "/" + schemes[i%len(schemes)].String()
+		},
+		func(i int) (sim.Result, error) {
+			w, err := mustWorkload(names[i/len(schemes)])
+			if err != nil {
+				return sim.Result{}, err
+			}
+			return r.Run(w, schemes[i%len(schemes)])
+		})
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]sim.Result, len(names))
+	for i := range names {
+		out[i] = cells[i*len(schemes) : (i+1)*len(schemes)]
+	}
+	return out, nil
 }
 
 // mustWorkload resolves a benchmark name; experiment sets are static, so a

@@ -29,24 +29,31 @@ type Figure3Row struct {
 // paper applies to them.
 func Figure3(r *Runner) (Figure3Result, error) {
 	var out Figure3Result
-	for _, name := range []string{"bwaves", "deepsjeng", "lbm"} {
-		w, err := mustWorkload(name)
-		if err != nil {
-			return out, err
-		}
-		tr := r.Trace(w, workload.Ref)
-		rec := trace.NewRecorder(uint64(len(tr)/2000 + 1))
-		for _, a := range tr {
-			rec.Record(a.Page)
-		}
-		samples := rec.Samples()
-		out.Benchmarks = append(out.Benchmarks, Figure3Row{
-			Name:    name,
-			Pattern: trace.Analyze(tr),
-			Fit:     trace.FitLinear(samples),
-			Samples: samples,
+	names := []string{"bwaves", "deepsjeng", "lbm"}
+	rows, err := sweep(r, "fig3", len(names),
+		func(i int) string { return names[i] },
+		func(i int) (Figure3Row, error) {
+			w, err := mustWorkload(names[i])
+			if err != nil {
+				return Figure3Row{}, err
+			}
+			tr := r.Trace(w, workload.Ref)
+			rec := trace.NewRecorder(uint64(len(tr)/2000 + 1))
+			for _, a := range tr {
+				rec.Record(a.Page)
+			}
+			samples := rec.Samples()
+			return Figure3Row{
+				Name:    names[i],
+				Pattern: trace.Analyze(tr),
+				Fit:     trace.FitLinear(samples),
+				Samples: samples,
+			}, nil
 		})
+	if err != nil {
+		return out, err
 	}
+	out.Benchmarks = rows
 	return out, nil
 }
 
@@ -84,29 +91,38 @@ func Figure6(r *Runner) (Figure6Result, error) {
 	if err != nil {
 		return out, err
 	}
-	baseL, err := r.Run(lbm, sim.Baseline)
+	bases, err := r.RunAll([]string{"lbm", "bwaves"}, []sim.Scheme{sim.Baseline})
 	if err != nil {
 		return out, err
 	}
-	baseB, err := r.Run(bwaves, sim.Baseline)
+	baseL, baseB := bases[0][0], bases[1][0]
+	type cell struct{ lbm, bwaves, combined float64 }
+	cells, err := sweep(r, "fig6", len(out.Lengths),
+		func(i int) string { return fmt.Sprintf("streamlist=%d", out.Lengths[i]) },
+		func(i int) (cell, error) {
+			d := r.p.DFP
+			d.StreamListLen = out.Lengths[i]
+			rl, err := r.RunDFP(lbm, sim.DFP, d)
+			if err != nil {
+				return cell{}, err
+			}
+			rb, err := r.RunDFP(bwaves, sim.DFP, d)
+			if err != nil {
+				return cell{}, err
+			}
+			return cell{
+				lbm:      stats.Normalized(rl.Cycles, baseL.Cycles),
+				bwaves:   stats.Normalized(rb.Cycles, baseB.Cycles),
+				combined: stats.Normalized(rl.Cycles+rb.Cycles, baseL.Cycles+baseB.Cycles),
+			}, nil
+		})
 	if err != nil {
 		return out, err
 	}
-	for _, n := range out.Lengths {
-		d := r.p.DFP
-		d.StreamListLen = n
-		rl, err := r.RunDFP(lbm, sim.DFP, d)
-		if err != nil {
-			return out, err
-		}
-		rb, err := r.RunDFP(bwaves, sim.DFP, d)
-		if err != nil {
-			return out, err
-		}
-		out.Lbm = append(out.Lbm, stats.Normalized(rl.Cycles, baseL.Cycles))
-		out.Bwaves = append(out.Bwaves, stats.Normalized(rb.Cycles, baseB.Cycles))
-		out.Combined = append(out.Combined,
-			stats.Normalized(rl.Cycles+rb.Cycles, baseL.Cycles+baseB.Cycles))
+	for _, c := range cells {
+		out.Lbm = append(out.Lbm, c.lbm)
+		out.Bwaves = append(out.Bwaves, c.bwaves)
+		out.Combined = append(out.Combined, c.combined)
 	}
 	return out, nil
 }
@@ -157,26 +173,33 @@ func Figure7(r *Runner) (Figure7Result, error) {
 		LoadLengths: []int{1, 2, 4, 8, 16, 32},
 		Benchmarks:  Figure7Set(),
 	}
-	for _, name := range out.Benchmarks {
-		w, err := mustWorkload(name)
-		if err != nil {
-			return out, err
-		}
-		base, err := r.Run(w, sim.Baseline)
-		if err != nil {
-			return out, err
-		}
-		row := make([]float64, 0, len(out.LoadLengths))
-		for _, ll := range out.LoadLengths {
+	bases, err := r.RunAll(out.Benchmarks, []sim.Scheme{sim.Baseline})
+	if err != nil {
+		return out, err
+	}
+	nLL := len(out.LoadLengths)
+	cells, err := sweep(r, "fig7", len(out.Benchmarks)*nLL,
+		func(i int) string {
+			return fmt.Sprintf("%s L=%d", out.Benchmarks[i/nLL], out.LoadLengths[i%nLL])
+		},
+		func(i int) (float64, error) {
+			w, err := mustWorkload(out.Benchmarks[i/nLL])
+			if err != nil {
+				return 0, err
+			}
 			d := r.p.DFP
-			d.LoadLength = ll
+			d.LoadLength = out.LoadLengths[i%nLL]
 			res, err := r.RunDFP(w, sim.DFP, d)
 			if err != nil {
-				return out, err
+				return 0, err
 			}
-			row = append(row, stats.Normalized(res.Cycles, base.Cycles))
-		}
-		out.Norm = append(out.Norm, row)
+			return stats.Normalized(res.Cycles, bases[i/nLL][0].Cycles), nil
+		})
+	if err != nil {
+		return out, err
+	}
+	for b := range out.Benchmarks {
+		out.Norm = append(out.Norm, cells[b*nLL:(b+1)*nLL])
 	}
 	return out, nil
 }
@@ -224,23 +247,17 @@ func Figure8(r *Runner) (Figure8Result, error) {
 	var out Figure8Result
 	var regular []float64
 	var overheadDFP, overheadStop []float64
-	for _, name := range LargeWorkingSet() {
+	names := LargeWorkingSet()
+	grid, err := r.RunAll(names, []sim.Scheme{sim.Baseline, sim.DFP, sim.DFPStop})
+	if err != nil {
+		return out, err
+	}
+	for i, name := range names {
 		w, err := mustWorkload(name)
 		if err != nil {
 			return out, err
 		}
-		base, err := r.Run(w, sim.Baseline)
-		if err != nil {
-			return out, err
-		}
-		d, err := r.Run(w, sim.DFP)
-		if err != nil {
-			return out, err
-		}
-		ds, err := r.Run(w, sim.DFPStop)
-		if err != nil {
-			return out, err
-		}
+		base, d, ds := grid[i][0], grid[i][1], grid[i][2]
 		row := Figure8Row{
 			Name:            name,
 			DFPImprovement:  stats.ImprovementPct(d.Cycles, base.Cycles),
@@ -294,23 +311,40 @@ func Figure9(r *Runner) (Figure9Result, error) {
 	if err != nil {
 		return out, err
 	}
-	for _, th := range out.Thresholds {
-		sel, err := r.SelectionAt(w, th)
-		if err != nil {
-			return out, err
-		}
-		res, err := sim.Run(r.Trace(w, workload.Ref), sim.Config{
-			Scheme:       sim.SIP,
-			EPCPages:     r.p.EPCPages,
-			ELRangePages: w.ELRangePages(),
-			Selection:    sel,
+	type cell struct {
+		cycles uint64
+		points int
+		norm   float64
+	}
+	cells, err := sweep(r, "fig9", len(out.Thresholds),
+		func(i int) string { return fmt.Sprintf("threshold=%.0f%%", out.Thresholds[i]*100) },
+		func(i int) (cell, error) {
+			sel, err := r.SelectionAt(w, out.Thresholds[i])
+			if err != nil {
+				return cell{}, err
+			}
+			res, err := sim.Run(r.Trace(w, workload.Ref), sim.Config{
+				Scheme:       sim.SIP,
+				EPCPages:     r.p.EPCPages,
+				ELRangePages: w.ELRangePages(),
+				Selection:    sel,
+			})
+			if err != nil {
+				return cell{}, err
+			}
+			return cell{
+				cycles: res.Cycles,
+				points: sel.Points(),
+				norm:   stats.Normalized(res.Cycles, base.Cycles),
+			}, nil
 		})
-		if err != nil {
-			return out, err
-		}
-		out.Cycles = append(out.Cycles, res.Cycles)
-		out.Points = append(out.Points, sel.Points())
-		out.Normalized = append(out.Normalized, stats.Normalized(res.Cycles, base.Cycles))
+	if err != nil {
+		return out, err
+	}
+	for _, c := range cells {
+		out.Cycles = append(out.Cycles, c.cycles)
+		out.Points = append(out.Points, c.points)
+		out.Normalized = append(out.Normalized, c.norm)
 	}
 	return out, nil
 }
@@ -353,16 +387,13 @@ type Figure10Result struct {
 // microbenchmark unchanged with zero instrumentation points).
 func Figure10(r *Runner) (Figure10Result, error) {
 	var out Figure10Result
-	for _, name := range SIPSet() {
+	names := SIPSet()
+	grid, err := r.RunAll(names, []sim.Scheme{sim.Baseline, sim.SIP})
+	if err != nil {
+		return out, err
+	}
+	for i, name := range names {
 		w, err := mustWorkload(name)
-		if err != nil {
-			return out, err
-		}
-		base, err := r.Run(w, sim.Baseline)
-		if err != nil {
-			return out, err
-		}
-		res, err := r.Run(w, sim.SIP)
 		if err != nil {
 			return out, err
 		}
@@ -372,7 +403,7 @@ func Figure10(r *Runner) (Figure10Result, error) {
 		}
 		out.Rows = append(out.Rows, SchemeRow{
 			Name:        name,
-			Improvement: stats.ImprovementPct(res.Cycles, base.Cycles),
+			Improvement: stats.ImprovementPct(grid[i][1].Cycles, grid[i][0].Cycles),
 			Points:      sel.Points(),
 		})
 	}
@@ -407,24 +438,21 @@ func Figure11(r *Runner) (Figure11Result, error) {
 	if err != nil {
 		return out, err
 	}
-	baseS, err := r.Run(sift, sim.Baseline)
+	cells := []struct {
+		w *workload.Workload
+		s sim.Scheme
+	}{
+		{sift, sim.Baseline}, {sift, sim.DFPStop},
+		{mser, sim.Baseline}, {mser, sim.SIP},
+	}
+	res, err := sweep(r, "fig11", len(cells),
+		func(i int) string { return cells[i].w.Name + "/" + cells[i].s.String() },
+		func(i int) (sim.Result, error) { return r.Run(cells[i].w, cells[i].s) })
 	if err != nil {
 		return out, err
 	}
-	resS, err := r.Run(sift, sim.DFPStop)
-	if err != nil {
-		return out, err
-	}
-	baseM, err := r.Run(mser, sim.Baseline)
-	if err != nil {
-		return out, err
-	}
-	resM, err := r.Run(mser, sim.SIP)
-	if err != nil {
-		return out, err
-	}
-	out.SIFTDFPImprovement = stats.ImprovementPct(resS.Cycles, baseS.Cycles)
-	out.MSERSIPImprovement = stats.ImprovementPct(resM.Cycles, baseM.Cycles)
+	out.SIFTDFPImprovement = stats.ImprovementPct(res[1].Cycles, res[0].Cycles)
+	out.MSERSIPImprovement = stats.ImprovementPct(res[3].Cycles, res[2].Cycles)
 	return out, nil
 }
 
@@ -454,43 +482,40 @@ type Figure12Result struct {
 // worst case.
 func Figure12(r *Runner) (Figure12Result, error) {
 	var out Figure12Result
-	for _, name := range SIPSet() {
-		row, err := hybridRow(r, name)
-		if err != nil {
-			return out, err
-		}
-		out.Rows = append(out.Rows, row)
+	names := SIPSet()
+	grid, err := r.RunAll(names, hybridSchemes())
+	if err != nil {
+		return out, err
+	}
+	for i, name := range names {
+		out.Rows = append(out.Rows, hybridRowFrom(name, grid[i]))
 	}
 	return out, nil
 }
 
-func hybridRow(r *Runner, name string) (HybridRow, error) {
-	w, err := mustWorkload(name)
-	if err != nil {
-		return HybridRow{}, err
-	}
-	base, err := r.Run(w, sim.Baseline)
-	if err != nil {
-		return HybridRow{}, err
-	}
-	s, err := r.Run(w, sim.SIP)
-	if err != nil {
-		return HybridRow{}, err
-	}
-	d, err := r.Run(w, sim.DFPStop)
-	if err != nil {
-		return HybridRow{}, err
-	}
-	h, err := r.Run(w, sim.Hybrid)
-	if err != nil {
-		return HybridRow{}, err
-	}
+// hybridSchemes is the scheme order of the hybrid studies: baseline
+// first, then the three contenders.
+func hybridSchemes() []sim.Scheme {
+	return []sim.Scheme{sim.Baseline, sim.SIP, sim.DFPStop, sim.Hybrid}
+}
+
+// hybridRowFrom normalizes one benchmark's hybridSchemes results.
+func hybridRowFrom(name string, res []sim.Result) HybridRow {
+	base := res[0]
 	return HybridRow{
 		Name:   name,
-		SIP:    stats.Normalized(s.Cycles, base.Cycles),
-		DFP:    stats.Normalized(d.Cycles, base.Cycles),
-		Hybrid: stats.Normalized(h.Cycles, base.Cycles),
-	}, nil
+		SIP:    stats.Normalized(res[1].Cycles, base.Cycles),
+		DFP:    stats.Normalized(res[2].Cycles, base.Cycles),
+		Hybrid: stats.Normalized(res[3].Cycles, base.Cycles),
+	}
+}
+
+func hybridRow(r *Runner, name string) (HybridRow, error) {
+	grid, err := r.RunAll([]string{name}, hybridSchemes())
+	if err != nil {
+		return HybridRow{}, err
+	}
+	return hybridRowFrom(name, grid[0]), nil
 }
 
 // String renders the comparison.

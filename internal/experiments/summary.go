@@ -34,53 +34,63 @@ type SummaryResult struct {
 }
 
 // Summary runs every benchmark under every applicable scheme — the
-// repository's one-stop paper-versus-measured record.
+// repository's one-stop paper-versus-measured record. Each benchmark is
+// one parallel cell; the schemes within a cell run sequentially, so the
+// sweep is deterministic at any worker count.
 func Summary(r *Runner) (SummaryResult, error) {
 	var out SummaryResult
-	for _, w := range workload.All() {
-		base, err := r.Run(w, sim.Baseline)
-		if err != nil {
-			return out, err
-		}
-		row := SummaryRow{
-			Name:           w.Name,
-			Category:       w.Category,
-			BaselineCycles: base.Cycles,
-			Faults:         base.Faults(),
-			FaultShare:     float64(base.FaultCycles()) / float64(base.Cycles),
-		}
-		d, err := r.Run(w, sim.DFP)
-		if err != nil {
-			return out, err
-		}
-		row.DFP = stats.ImprovementPct(d.Cycles, base.Cycles)
-		ds, err := r.Run(w, sim.DFPStop)
-		if err != nil {
-			return out, err
-		}
-		row.DFPStop = stats.ImprovementPct(ds.Cycles, base.Cycles)
-		row.Stopped = ds.Kernel.DFPStopped
+	ws := workload.All()
+	rows, err := sweep(r, "summary", len(ws),
+		func(i int) string { return ws[i].Name },
+		func(i int) (SummaryRow, error) {
+			w := ws[i]
+			base, err := r.Run(w, sim.Baseline)
+			if err != nil {
+				return SummaryRow{}, err
+			}
+			row := SummaryRow{
+				Name:           w.Name,
+				Category:       w.Category,
+				BaselineCycles: base.Cycles,
+				Faults:         base.Faults(),
+				FaultShare:     float64(base.FaultCycles()) / float64(base.Cycles),
+			}
+			d, err := r.Run(w, sim.DFP)
+			if err != nil {
+				return SummaryRow{}, err
+			}
+			row.DFP = stats.ImprovementPct(d.Cycles, base.Cycles)
+			ds, err := r.Run(w, sim.DFPStop)
+			if err != nil {
+				return SummaryRow{}, err
+			}
+			row.DFPStop = stats.ImprovementPct(ds.Cycles, base.Cycles)
+			row.Stopped = ds.Kernel.DFPStopped
 
-		row.Instrumentable = w.Instrumentable
-		if w.Instrumentable {
-			sel, err := r.Selection(w)
-			if err != nil {
-				return out, err
+			row.Instrumentable = w.Instrumentable
+			if w.Instrumentable {
+				sel, err := r.Selection(w)
+				if err != nil {
+					return SummaryRow{}, err
+				}
+				row.Points = sel.Points()
+				s, err := r.Run(w, sim.SIP)
+				if err != nil {
+					return SummaryRow{}, err
+				}
+				row.SIP = stats.ImprovementPct(s.Cycles, base.Cycles)
+				h, err := r.Run(w, sim.Hybrid)
+				if err != nil {
+					return SummaryRow{}, err
+				}
+				row.Hybrid = stats.ImprovementPct(h.Cycles, base.Cycles)
 			}
-			row.Points = sel.Points()
-			s, err := r.Run(w, sim.SIP)
-			if err != nil {
-				return out, err
-			}
-			row.SIP = stats.ImprovementPct(s.Cycles, base.Cycles)
-			h, err := r.Run(w, sim.Hybrid)
-			if err != nil {
-				return out, err
-			}
-			row.Hybrid = stats.ImprovementPct(h.Cycles, base.Cycles)
-		}
-		out.Rows = append(out.Rows, row)
+			return row, nil
+		})
+	if err != nil {
+		return out, err
 	}
+	out.Rows = rows
 	return out, nil
 }
 

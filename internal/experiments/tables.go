@@ -29,16 +29,23 @@ type Table1Result struct {
 // also validates the generators.
 func Table1(r *Runner) (Table1Result, error) {
 	var out Table1Result
-	for _, w := range workload.All() {
-		tr := r.Trace(w, workload.Ref)
-		p := trace.Analyze(tr)
-		out.Rows = append(out.Rows, Table1Row{
-			Name:     w.Name,
-			Declared: w.Category.String(),
-			Measured: p.Classify(uint64(r.p.EPCPages)),
-			Pattern:  p,
+	ws := workload.All()
+	rows, err := sweep(r, "table1", len(ws),
+		func(i int) string { return ws[i].Name },
+		func(i int) (Table1Row, error) {
+			w := ws[i]
+			p := trace.Analyze(r.Trace(w, workload.Ref))
+			return Table1Row{
+				Name:     w.Name,
+				Declared: w.Category.String(),
+				Measured: p.Classify(uint64(r.p.EPCPages)),
+				Pattern:  p,
+			}, nil
 		})
+	if err != nil {
+		return out, err
 	}
+	out.Rows = rows
 	return out, nil
 }
 
@@ -81,19 +88,26 @@ type Table2Result struct {
 // argument of §5.5.
 func Table2(r *Runner) (Table2Result, error) {
 	var out Table2Result
-	for _, name := range []string{
+	names := []string{
 		"mcf.2006", "mcf", "xz", "deepsjeng", "lbm", "MSER", "SIFT", "microbenchmark",
-	} {
-		w, err := mustWorkload(name)
-		if err != nil {
-			return out, err
-		}
-		sel, err := r.Selection(w)
-		if err != nil {
-			return out, err
-		}
-		out.Rows = append(out.Rows, Table2Row{Name: name, Points: sel.Points()})
 	}
+	rows, err := sweep(r, "table2", len(names),
+		func(i int) string { return names[i] },
+		func(i int) (Table2Row, error) {
+			w, err := mustWorkload(names[i])
+			if err != nil {
+				return Table2Row{}, err
+			}
+			sel, err := r.Selection(w)
+			if err != nil {
+				return Table2Row{}, err
+			}
+			return Table2Row{Name: names[i], Points: sel.Points()}, nil
+		})
+	if err != nil {
+		return out, err
+	}
+	out.Rows = rows
 	return out, nil
 }
 

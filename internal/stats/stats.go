@@ -49,10 +49,15 @@ func Normalized(value, baseline uint64) float64 {
 }
 
 // ImprovementPct returns the performance improvement of value over
-// baseline in percent: positive = faster than baseline.
+// baseline in percent: positive = faster than baseline. Like Normalized,
+// it returns NaN when baseline is 0, so a missing baseline shows up as
+// "NaN" in reports instead of masquerading as "no change". NaN compares
+// false with everything, so threshold tests on the result (v < 0, v > x)
+// treat a missing baseline as "neither" — and aggregates over it (Mean)
+// propagate the NaN into the rendered table rather than hiding it.
 func ImprovementPct(value, baseline uint64) float64 {
 	if baseline == 0 {
-		return 0
+		return math.NaN()
 	}
 	return 100 * (1 - float64(value)/float64(baseline))
 }
@@ -78,13 +83,33 @@ func (t *Table) Add(cells ...interface{}) {
 	t.Rows = append(t.Rows, row)
 }
 
-// String renders the table.
+// String renders the table. Ragged input is tolerated: every row
+// (including the header) is normalized to the widest row's column count
+// up front, so the separator, the padding, and the cells all agree, and
+// the empty cells a short row leaves behind never emit stray padding —
+// trailing whitespace is trimmed from every line.
 func (t *Table) String() string {
 	cols := len(t.Header)
 	for _, r := range t.Rows {
 		if len(r) > cols {
 			cols = len(r)
 		}
+	}
+	if cols == 0 {
+		return ""
+	}
+	pad := func(r []string) []string {
+		if len(r) >= cols {
+			return r
+		}
+		out := make([]string, cols)
+		copy(out, r)
+		return out
+	}
+	header := pad(t.Header)
+	rows := make([][]string, len(t.Rows))
+	for i, r := range t.Rows {
+		rows[i] = pad(r)
 	}
 	widths := make([]int, cols)
 	measure := func(r []string) {
@@ -94,27 +119,25 @@ func (t *Table) String() string {
 			}
 		}
 	}
-	measure(t.Header)
-	for _, r := range t.Rows {
+	measure(header)
+	for _, r := range rows {
 		measure(r)
 	}
 	var b strings.Builder
 	writeRow := func(r []string) {
+		var line strings.Builder
 		for i := 0; i < cols; i++ {
-			var cell string
-			if i < len(r) {
-				cell = r[i]
-			}
 			if i == 0 {
-				fmt.Fprintf(&b, "%-*s", widths[i], cell)
+				fmt.Fprintf(&line, "%-*s", widths[i], r[i])
 			} else {
-				fmt.Fprintf(&b, "  %*s", widths[i], cell)
+				fmt.Fprintf(&line, "  %*s", widths[i], r[i])
 			}
 		}
+		b.WriteString(strings.TrimRight(line.String(), " "))
 		b.WriteByte('\n')
 	}
 	if len(t.Header) > 0 {
-		writeRow(t.Header)
+		writeRow(header)
 		total := 0
 		for _, w := range widths {
 			total += w + 2
@@ -122,7 +145,7 @@ func (t *Table) String() string {
 		b.WriteString(strings.Repeat("-", total-2))
 		b.WriteByte('\n')
 	}
-	for _, r := range t.Rows {
+	for _, r := range rows {
 		writeRow(r)
 	}
 	return b.String()
