@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench verify
+.PHONY: build test race bench verify verify-obs
 
 build:
 	$(GO) build ./...
@@ -18,8 +18,16 @@ race:
 bench:
 	$(GO) test ./internal/experiments/ -run '^$$' -bench 'BenchmarkRunAll' -benchtime 2x
 
+# Observability gate: build, race-test the instrumented packages, and
+# measure the disabled-hook overhead (a nil hook must stay within 2% of
+# a no-op hook; the guard is wall-clock based, hence opt-in via env).
+verify-obs:
+	$(GO) build ./...
+	$(GO) test -race ./internal/obs/ ./internal/channel/ ./internal/kernel/ ./internal/dfp/ ./internal/sim/
+	SGXSIM_HOOKGUARD=1 $(GO) test ./internal/sim/ -run TestHookOverheadGuard -v
+
 # The full pre-merge gate.
-verify:
+verify: verify-obs
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test -race ./...

@@ -65,6 +65,7 @@ func all() []experiment {
 		{"ablation-backward", "descending-stream recognition", wrap(experiments.BackwardStreams)},
 		{"ablation-reclaim", "sync vs background (ksgxswapd) EWB reclaim", wrap(experiments.ReclaimAblation)},
 		{"ablation-eager", "oracle early-notification headroom (Figure 4)", wrap(experiments.EagerSIP)},
+		{"trace", "event-timeline trace report (deepsjeng, DFP-stop)", wrap(experiments.Trace)},
 	}
 }
 

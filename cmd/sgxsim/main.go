@@ -21,6 +21,7 @@ import (
 	"sgxpreload/internal/dfp"
 	"sgxpreload/internal/epc"
 	"sgxpreload/internal/experiments"
+	"sgxpreload/internal/obs"
 	"sgxpreload/internal/sim"
 	"sgxpreload/internal/sip"
 	"sgxpreload/internal/stats"
@@ -47,6 +48,8 @@ func run(args []string, out io.Writer) error {
 		policy     = fs.String("policy", "clock", "EPC eviction: clock | fifo | lru | random")
 		reclaim    = fs.Bool("reclaim", false, "enable the ksgxswapd-style background reclaimer")
 		compare    = fs.Bool("compare", false, "also run the baseline and report the improvement")
+		tracePath  = fs.String("trace", "", "write the run's event timeline (JSONL; a .csv extension selects CSV)")
+		metricsOut = fs.String("metrics-out", "", "write derived metrics (text report; a .svg extension renders the timeline chart)")
 		parallel   = fs.Int("parallel", 0, "worker pool for -compare (0 = GOMAXPROCS; output is identical at any setting)")
 		progress   = fs.Bool("progress", false, "report each completed run on stderr")
 		list       = fs.Bool("list", false, "list benchmarks and exit")
@@ -139,6 +142,14 @@ func run(args []string, out io.Writer) error {
 		bcfg.Selection = nil
 		configs = append(configs, bcfg)
 	}
+	// The recorder observes only the primary run (a baseline comparison
+	// run stays unhooked), and each run is single-goroutine, so the
+	// recorded timeline is byte-identical at any -parallel setting.
+	var rec *obs.Recorder
+	if *tracePath != "" || *metricsOut != "" {
+		rec = obs.NewRecorder()
+		configs[0].Hook = rec
+	}
 	results, err := experiments.Sweep(*parallel, len(configs), func(i int) (sim.Result, error) {
 		r, err := sim.Run(trace, configs[i])
 		if *progress && err == nil {
@@ -173,5 +184,52 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "baseline cycles:  %d\n", base.Cycles)
 		fmt.Fprintf(out, "improvement:      %+.2f%%\n", stats.ImprovementPct(res.Cycles, base.Cycles))
 	}
+
+	if rec != nil {
+		if *tracePath != "" {
+			if err := writeTrace(rec, *tracePath); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "trace:            %d events -> %s\n", rec.Len(), *tracePath)
+		}
+		if *metricsOut != "" {
+			title := fmt.Sprintf("%s / %s", w.Name, res.Scheme)
+			if err := writeMetrics(rec, title, *metricsOut); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "metrics:          %s\n", *metricsOut)
+		}
+	}
 	return nil
+}
+
+// writeTrace exports the recorded timeline; the extension picks the
+// format (JSONL by default, CSV for .csv).
+func writeTrace(rec *obs.Recorder, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	var werr error
+	if strings.HasSuffix(path, ".csv") {
+		werr = rec.WriteCSV(f)
+	} else {
+		werr = rec.WriteJSONL(f)
+	}
+	cerr := f.Close()
+	if werr != nil {
+		return werr
+	}
+	return cerr
+}
+
+// writeMetrics exports the derived metrics: a text report, or the
+// timeline chart as SVG when path ends in .svg.
+func writeMetrics(rec *obs.Recorder, title, path string) error {
+	if strings.HasSuffix(path, ".svg") {
+		chart := obs.Timeline(title, rec.Events(), 4000)
+		return os.WriteFile(path, []byte(chart.SVG()), 0o644)
+	}
+	report := obs.BuildReport(rec.Events())
+	return os.WriteFile(path, []byte(report.String()), 0o644)
 }

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -49,6 +51,82 @@ func TestSIPRun(t *testing.T) {
 	out := buf.String()
 	if !strings.Contains(out, "instrumentation points") || !strings.Contains(out, "notify loads:") {
 		t.Errorf("SIP output incomplete:\n%s", out)
+	}
+}
+
+func TestTraceAndMetricsOutputs(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "run.jsonl")
+	csvPath := filepath.Join(dir, "run.csv")
+	reportPath := filepath.Join(dir, "run.txt")
+	svgPath := filepath.Join(dir, "run.svg")
+
+	var buf strings.Builder
+	err := run([]string{"-bench", "cactuBSSN", "-scheme", "dfp-stop",
+		"-trace", tracePath, "-metrics-out", reportPath}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "trace:") || !strings.Contains(buf.String(), "metrics:") {
+		t.Errorf("summary missing trace/metrics lines:\n%s", buf.String())
+	}
+	jsonl, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(jsonl), `{"t":`) {
+		t.Errorf("trace file does not look like JSONL: %.80s", jsonl)
+	}
+	report, err := os.ReadFile(reportPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(report), "channel busy:") {
+		t.Errorf("metrics report incomplete: %.200s", report)
+	}
+
+	if err := run([]string{"-bench", "cactuBSSN", "-scheme", "dfp-stop",
+		"-trace", csvPath, "-metrics-out", svgPath}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	csv, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(csv), "t,kind,page,batch,v1,v2\n") {
+		t.Errorf("CSV trace missing header: %.80s", csv)
+	}
+	svg, err := os.ReadFile(svgPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(svg), "<svg") {
+		t.Errorf("metrics SVG missing markup: %.80s", svg)
+	}
+}
+
+// The event timeline observes only the primary (single-goroutine) run,
+// so the exported trace must be byte-identical at any -parallel setting.
+func TestTraceDeterministicAcrossParallelism(t *testing.T) {
+	dir := t.TempDir()
+	export := func(parallel string) []byte {
+		path := filepath.Join(dir, "trace-"+parallel+".jsonl")
+		var buf strings.Builder
+		err := run([]string{"-bench", "cactuBSSN", "-scheme", "dfp", "-compare",
+			"-parallel", parallel, "-trace", path}, &buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	one := export("1")
+	eight := export("8")
+	if len(one) == 0 || string(one) != string(eight) {
+		t.Fatalf("trace differs across -parallel (%d vs %d bytes)", len(one), len(eight))
 	}
 }
 

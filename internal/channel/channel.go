@@ -18,6 +18,7 @@ package channel
 
 import (
 	"sgxpreload/internal/mem"
+	"sgxpreload/internal/obs"
 )
 
 // Load describes one page transfer occupying the channel.
@@ -61,7 +62,13 @@ type Channel struct {
 	pending     []Request
 	aborted     uint64 // queued preloads dropped before starting
 	lastBatchID uint64
+	hook        obs.Hook // nil = observability disabled
 }
+
+// SetHook installs an event hook on this channel (nil disables). In a
+// shared-server group each channel carries its own hook; transfer events
+// are emitted by the channel whose method started them.
+func (c *Channel) SetHook(h obs.Hook) { c.hook = h }
 
 // New returns an idle channel with its own server.
 func New() *Channel { return &Channel{srv: &server{}} }
@@ -114,6 +121,10 @@ func (c *Channel) Begin(page mem.PageID, start, occupancy uint64, preload bool, 
 	c.srv.inflight = &ld
 	c.srv.busyUntil = ld.Done
 	c.srv.started++
+	if c.hook != nil {
+		c.hook.Emit(obs.Event{T: ld.Start, Kind: obs.KindLoadStart,
+			Page: ld.Page, Batch: ld.Batch, V1: ld.Done, V2: boolV(ld.Preload)})
+	}
 	return ld
 }
 
@@ -125,33 +136,81 @@ func (c *Channel) CompleteInflight() Load {
 	}
 	ld := *c.srv.inflight
 	c.srv.inflight = nil
+	if c.hook != nil {
+		c.hook.Emit(obs.Event{T: ld.Done, Kind: obs.KindLoadComplete,
+			Page: ld.Page, Batch: ld.Batch, V2: boolV(ld.Preload)})
+	}
 	return ld
 }
 
 // QueueBatch appends a new predicted batch, eligible to start at cycle
-// enqueued. When the backlog would exceed maxPending, the stalest queued
-// requests are dropped first: an old list_to_load the worker never reached
-// was produced for a fault the application has long since moved past. It
-// returns the number of requests dropped.
+// enqueued. When the backlog would exceed maxPending, whole stale batches
+// are dropped from the front: an old list_to_load the worker never reached
+// was produced for a fault the application has long since moved past.
+// Dropping batch-at-a-time (rather than request-at-a-time) keeps every
+// surviving batch intact, so a later fault on any still-queued predicted
+// page finds its batch via AbortBatchContaining instead of being
+// misclassified as an out-of-stream fault. If the new batch alone exceeds
+// the cap, its own tail — the predictions farthest from the fault — is
+// truncated. It returns the number of requests dropped.
 func (c *Channel) QueueBatch(pages []mem.PageID, enqueued uint64, maxPending int) (dropped int) {
 	c.lastBatchID++
+	id := c.lastBatchID
 	for _, p := range pages {
-		c.pending = append(c.pending, Request{Page: p, Batch: c.lastBatchID, Enqueued: enqueued})
+		c.pending = append(c.pending, Request{Page: p, Batch: id, Enqueued: enqueued})
+		if c.hook != nil {
+			c.hook.Emit(obs.Event{T: enqueued, Kind: obs.KindPreloadQueue, Page: p, Batch: id})
+		}
 	}
-	if maxPending > 0 && len(c.pending) > maxPending {
-		dropped = len(c.pending) - maxPending
-		c.aborted += uint64(dropped)
-		copy(c.pending, c.pending[dropped:])
+	if maxPending <= 0 || len(c.pending) <= maxPending {
+		return 0
+	}
+	cut := 0
+	for len(c.pending)-cut > maxPending && c.pending[cut].Batch != id {
+		stale := c.pending[cut].Batch
+		for cut < len(c.pending) && c.pending[cut].Batch == stale {
+			c.dropEvent(c.pending[cut], enqueued, obs.AbortOverflow)
+			cut++
+		}
+	}
+	dropped = cut
+	copy(c.pending, c.pending[cut:])
+	c.pending = c.pending[:len(c.pending)-cut]
+	if len(c.pending) > maxPending {
+		// Only the new batch remains and it is larger than the cap:
+		// keep its head (the pages nearest the fault).
+		for _, r := range c.pending[maxPending:] {
+			c.dropEvent(r, enqueued, obs.AbortOverflow)
+		}
+		dropped += len(c.pending) - maxPending
 		c.pending = c.pending[:maxPending]
 	}
+	c.aborted += uint64(dropped)
 	return dropped
+}
+
+// dropEvent emits a preload-abort event for a dropped request.
+func (c *Channel) dropEvent(r Request, now uint64, reason uint64) {
+	if c.hook != nil {
+		c.hook.Emit(obs.Event{T: now, Kind: obs.KindPreloadAbort,
+			Page: r.Page, Batch: r.Batch, V1: reason})
+	}
+}
+
+// boolV encodes a flag as an event value.
+func boolV(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // AbortBatchContaining drops every queued request belonging to the batch
 // that contains page — the paper's in-stream abort: a fault landing on a
 // predicted page that has not been loaded yet cancels the remainder of
-// that prediction. It reports whether any batch matched.
-func (c *Channel) AbortBatchContaining(page mem.PageID) bool {
+// that prediction. now is the cycle of the triggering fault (it stamps
+// the abort events). It reports whether any batch matched.
+func (c *Channel) AbortBatchContaining(page mem.PageID, now uint64) bool {
 	batch := uint64(0)
 	for _, r := range c.pending {
 		if r.Page == page {
@@ -166,6 +225,7 @@ func (c *Channel) AbortBatchContaining(page mem.PageID) bool {
 	for _, r := range c.pending {
 		if r.Batch == batch {
 			c.aborted++
+			c.dropEvent(r, now, obs.AbortInWindow)
 			continue
 		}
 		kept = append(kept, r)
@@ -175,10 +235,12 @@ func (c *Channel) AbortBatchContaining(page mem.PageID) bool {
 }
 
 // RemovePending removes a single queued request for page (the SIP notify
-// path demand-loads it instead). It reports whether a request was removed.
-func (c *Channel) RemovePending(page mem.PageID) bool {
+// path demand-loads it instead) at cycle now. It reports whether a
+// request was removed.
+func (c *Channel) RemovePending(page mem.PageID, now uint64) bool {
 	for i, r := range c.pending {
 		if r.Page == page {
+			c.dropEvent(r, now, obs.AbortSIP)
 			copy(c.pending[i:], c.pending[i+1:])
 			c.pending = c.pending[:len(c.pending)-1]
 			return true
@@ -193,10 +255,13 @@ func (c *Channel) PushAll(reqs []Request) {
 	c.pending = append(c.pending[:0], reqs...)
 }
 
-// AbortPending drops every queued preload and returns how many were
-// dropped; used when preloading is shut down mid-run.
-func (c *Channel) AbortPending() int {
+// AbortPending drops every queued preload at cycle now and returns how
+// many were dropped; used when preloading is shut down mid-run.
+func (c *Channel) AbortPending(now uint64) int {
 	n := len(c.pending)
+	for _, r := range c.pending {
+		c.dropEvent(r, now, obs.AbortStop)
+	}
 	c.aborted += uint64(n)
 	c.pending = c.pending[:0]
 	return n

@@ -99,19 +99,79 @@ func TestQueueBatchDistinctIDs(t *testing.T) {
 	}
 }
 
-func TestQueueBatchCapDropsStalest(t *testing.T) {
+func TestQueueBatchCapDropsWholeBatches(t *testing.T) {
+	cases := []struct {
+		name    string
+		batches [][]mem.PageID // queued in order; the cap applies throughout
+		cap     int
+		dropped int          // drops expected from the final QueueBatch
+		want    []mem.PageID // surviving queue, front first
+	}{
+		{"under cap",
+			[][]mem.PageID{{1, 2, 3}, {4, 5}}, 8, 0, []mem.PageID{1, 2, 3, 4, 5}},
+		{"exactly at cap",
+			[][]mem.PageID{{1, 2}, {3, 4}}, 4, 0, []mem.PageID{1, 2, 3, 4}},
+		{"stale batch dropped whole, never split",
+			[][]mem.PageID{{1, 2, 3, 4}, {5, 6, 7, 8}}, 6, 4, []mem.PageID{5, 6, 7, 8}},
+		{"several stale batches dropped",
+			[][]mem.PageID{{1, 2}, {3, 4}, {5, 6, 7, 8}}, 5, 4, []mem.PageID{5, 6, 7, 8}},
+		{"whole batch goes even when one request would do",
+			[][]mem.PageID{{1, 2, 3, 4}, {5, 6}}, 5, 4, []mem.PageID{5, 6}},
+		{"oversized new batch keeps its head",
+			[][]mem.PageID{{1, 2, 3, 4, 5, 6, 7, 8}}, 6, 2, []mem.PageID{1, 2, 3, 4, 5, 6}},
+		{"stale dropped then oversized new tail trimmed",
+			[][]mem.PageID{{1, 2}, {3, 4, 5, 6}}, 3, 3, []mem.PageID{3, 4, 5}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := New()
+			var dropped int
+			for _, b := range tc.batches {
+				dropped = c.QueueBatch(b, 0, tc.cap)
+			}
+			if dropped != tc.dropped {
+				t.Errorf("dropped = %d, want %d", dropped, tc.dropped)
+			}
+			if got := c.Aborted(); got != uint64(tc.dropped) {
+				t.Errorf("Aborted() = %d, want %d", got, tc.dropped)
+			}
+			for i, w := range tc.want {
+				r, ok := c.PopPending()
+				if !ok || r.Page != w {
+					t.Fatalf("pop %d = (%v, %v), want page %d", i, r, ok, w)
+				}
+			}
+			if c.PendingLen() != 0 {
+				t.Fatalf("queue not drained: %d left", c.PendingLen())
+			}
+		})
+	}
+}
+
+func TestQueueBatchTruncationKeepsBatchesAbortable(t *testing.T) {
+	// Regression: request-at-a-time truncation used to split the oldest
+	// surviving batch, so a later fault on one of its still-queued pages
+	// could find the batch half-gone (or, for the dropped half, miss
+	// AbortBatchContaining entirely and be misclassified as out-of-stream).
 	c := New()
 	c.QueueBatch([]mem.PageID{1, 2, 3, 4}, 0, 32)
-	dropped := c.QueueBatch([]mem.PageID{5, 6, 7, 8}, 0, 6)
-	if dropped != 2 {
-		t.Fatalf("dropped = %d, want 2", dropped)
+	c.QueueBatch([]mem.PageID{10, 11, 12, 13}, 0, 32)
+	if dropped := c.QueueBatch([]mem.PageID{20, 21}, 0, 6); dropped != 4 {
+		t.Fatalf("dropped = %d, want the whole {1..4} batch", dropped)
 	}
-	r, _ := c.PopPending()
-	if r.Page != 3 {
-		t.Fatalf("head after cap = %d, want 3 (1 and 2 were stalest)", r.Page)
+	for _, p := range []mem.PageID{10, 11, 12, 13, 20, 21} {
+		if !c.PendingContains(p) {
+			t.Fatalf("page %d missing after truncation", p)
+		}
 	}
-	if c.Aborted() != 2 {
-		t.Fatalf("Aborted() = %d, want 2", c.Aborted())
+	if !c.AbortBatchContaining(11, 0) {
+		t.Fatal("fault on a surviving predicted page missed its batch")
+	}
+	if c.PendingContains(10) || c.PendingContains(13) {
+		t.Fatal("aborted batch left requests behind")
+	}
+	if !c.PendingContains(20) || !c.PendingContains(21) {
+		t.Fatal("unrelated batch lost requests")
 	}
 }
 
@@ -119,7 +179,7 @@ func TestAbortBatchContaining(t *testing.T) {
 	c := New()
 	c.QueueBatch([]mem.PageID{1, 2, 3}, 0, 32)
 	c.QueueBatch([]mem.PageID{9, 10}, 0, 32)
-	if !c.AbortBatchContaining(2) {
+	if !c.AbortBatchContaining(2, 0) {
 		t.Fatal("AbortBatchContaining(2) = false")
 	}
 	// Batch {1,2,3} gone; {9,10} intact.
@@ -130,7 +190,7 @@ func TestAbortBatchContaining(t *testing.T) {
 			t.Fatalf("after abort got (%v, %v), want %d", r, ok, w)
 		}
 	}
-	if c.AbortBatchContaining(99) {
+	if c.AbortBatchContaining(99, 0) {
 		t.Fatal("AbortBatchContaining of absent page = true")
 	}
 }
@@ -138,10 +198,10 @@ func TestAbortBatchContaining(t *testing.T) {
 func TestRemovePending(t *testing.T) {
 	c := New()
 	c.QueueBatch([]mem.PageID{1, 2, 3}, 0, 32)
-	if !c.RemovePending(2) {
+	if !c.RemovePending(2, 0) {
 		t.Fatal("RemovePending(2) = false")
 	}
-	if c.RemovePending(2) {
+	if c.RemovePending(2, 0) {
 		t.Fatal("RemovePending(2) twice = true")
 	}
 	if c.PendingLen() != 2 {
@@ -155,7 +215,7 @@ func TestRemovePending(t *testing.T) {
 func TestAbortPending(t *testing.T) {
 	c := New()
 	c.QueueBatch([]mem.PageID{1, 2, 3}, 0, 32)
-	if n := c.AbortPending(); n != 3 {
+	if n := c.AbortPending(0); n != 3 {
 		t.Fatalf("AbortPending() = %d, want 3", n)
 	}
 	if c.PendingLen() != 0 {

@@ -4,17 +4,26 @@ import (
 	"testing"
 
 	"sgxpreload/internal/mem"
+	"sgxpreload/internal/obs"
 )
 
 // FuzzPendingQueue drives the pending-preload queue with an arbitrary
-// interleaving of QueueBatch, PopPending, AbortBatchContaining,
-// RemovePending, and AbortPending under MaxPending pressure, and checks
-// the conservation law every request obeys: each queued request is
-// eventually popped, removed, or aborted — never duplicated, never lost.
+// interleaving of QueueBatch, pop-and-start, AbortBatchContaining,
+// RemovePending, AbortPending, and the kernel's PushAll restore pattern
+// under MaxPending pressure, and checks the conservation law every
+// request obeys: each queued request is eventually started, removed (the
+// SIP notify path), or aborted with an accounted count — never
+// duplicated, never lost.
+//
+// A recorder hook runs throughout, so the fuzzer also exercises the
+// observability paths, and the event stream is cross-checked against the
+// counters: queue events match pages queued, abort events match aborts
+// plus SIP removals, load-start events match transfers begun.
 //
 // The seed corpus covers the interesting collisions directly (overflow
-// drops racing pops, aborting a batch that was partially popped); the
-// fuzzer explores interleavings around them.
+// drops racing pops, aborting a batch that was partially popped, a
+// restore straight after an overflow); the fuzzer explores interleavings
+// around them.
 func FuzzPendingQueue(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{0, 3, 1, 2, 3, 4, 5}) // one batch, then pops
@@ -22,10 +31,15 @@ func FuzzPendingQueue(f *testing.F) {
 	f.Add([]byte{0, 7, 1, 2, 3, 4, 5, 6, 7, 0, 7, 10, 11, 12, 13, 14, 15, 16, 1, 1, 0, 4, 20, 21, 22, 23})
 	// Abort a batch mid-pop, remove a page, then drain everything.
 	f.Add([]byte{0, 4, 1, 2, 3, 4, 1, 2, 2, 0, 3, 9, 8, 7, 3, 8, 4, 1, 1, 1})
+	// Overflow, restore the queue, then shut preloading down.
+	f.Add([]byte{0, 7, 1, 2, 3, 4, 5, 6, 7, 0, 5, 10, 11, 12, 13, 14, 5, 5, 4})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		c := New()
+		rec := obs.NewRecorder()
+		c.SetHook(rec)
 		const maxPending = 8
-		var queued, popped, removed uint64
+		var queued, started, removed uint64
+		var now uint64
 		next := func(i *int) byte {
 			if *i >= len(data) {
 				return 0
@@ -35,8 +49,9 @@ func FuzzPendingQueue(f *testing.F) {
 			return b
 		}
 		for i := 0; i < len(data); {
+			now++
 			prevAborted := c.Aborted()
-			switch next(&i) % 5 {
+			switch next(&i) % 6 {
 			case 0: // queue a batch of 1..8 pages
 				k := int(next(&i)%8) + 1
 				pages := make([]mem.PageID, k)
@@ -44,7 +59,7 @@ func FuzzPendingQueue(f *testing.F) {
 					pages[j] = mem.PageID(next(&i))
 				}
 				before := c.PendingLen()
-				dropped := c.QueueBatch(pages, 0, maxPending)
+				dropped := c.QueueBatch(pages, now, maxPending)
 				queued += uint64(k)
 				if got := c.PendingLen(); got > maxPending {
 					t.Fatalf("PendingLen = %d after QueueBatch, cap is %d", got, maxPending)
@@ -57,32 +72,45 @@ func FuzzPendingQueue(f *testing.F) {
 					t.Fatalf("Aborted moved by %d, QueueBatch reported %d dropped",
 						c.Aborted()-prevAborted, dropped)
 				}
-			case 1:
+			case 1: // pop the head and run its transfer, as the kernel would
 				before := c.PendingLen()
 				if r, ok := c.PopPending(); ok {
-					popped++
 					if before == 0 {
 						t.Fatal("PopPending succeeded on an empty queue")
 					}
 					if r.Batch == 0 {
 						t.Fatal("popped request has the zero batch tag")
 					}
+					start := c.BusyUntil()
+					if r.Enqueued > start {
+						start = r.Enqueued
+					}
+					c.Begin(r.Page, start, 100, true, r.Batch)
+					c.CompleteInflight()
+					started++
 				} else if before != 0 {
 					t.Fatalf("PopPending failed with %d pending", before)
 				}
 			case 2:
 				page := mem.PageID(next(&i))
 				had := c.PendingContains(page)
-				if c.AbortBatchContaining(page) != had {
+				if c.AbortBatchContaining(page, now) != had {
 					t.Fatalf("AbortBatchContaining(%d) disagrees with PendingContains", page)
 				}
-				if c.PendingContains(page) {
-					t.Fatalf("page %d still pending after its batch was aborted", page)
+				// One abort cancels one batch; duplicates of the page may
+				// sit in other batches. Repeating must drain them all.
+				for n := 0; c.PendingContains(page); n++ {
+					if n > maxPending {
+						t.Fatalf("aborting page %d does not terminate", page)
+					}
+					if !c.AbortBatchContaining(page, now) {
+						t.Fatalf("page %d pending but AbortBatchContaining found no batch", page)
+					}
 				}
 			case 3:
 				page := mem.PageID(next(&i))
 				had := c.PendingContains(page)
-				if c.RemovePending(page) {
+				if c.RemovePending(page, now) {
 					removed++
 					if !had {
 						t.Fatalf("RemovePending(%d) succeeded but PendingContains was false", page)
@@ -92,20 +120,61 @@ func FuzzPendingQueue(f *testing.F) {
 				}
 			case 4:
 				before := c.PendingLen()
-				if n := c.AbortPending(); n != before {
+				if n := c.AbortPending(now); n != before {
 					t.Fatalf("AbortPending dropped %d, had %d pending", n, before)
 				}
 				if c.PendingLen() != 0 {
 					t.Fatal("queue not empty after AbortPending")
 				}
+			case 5: // kernel restore: pop the head, then push everything back
+				before := c.PendingLen()
+				head, ok := c.PopPending()
+				if !ok {
+					break
+				}
+				reqs := []Request{head}
+				for {
+					r, popOK := c.PopPending()
+					if !popOK {
+						break
+					}
+					reqs = append(reqs, r)
+				}
+				c.PushAll(reqs)
+				if c.PendingLen() != before {
+					t.Fatalf("PushAll restore changed the queue: %d -> %d", before, c.PendingLen())
+				}
+				if r, popOK := c.PopPending(); !popOK || r != head {
+					t.Fatalf("PushAll restore changed the head: %v, want %v", r, head)
+				}
+				c.PushAll(reqs)
 			}
 			if c.Aborted() < prevAborted {
 				t.Fatalf("Aborted went backwards: %d -> %d", prevAborted, c.Aborted())
 			}
-			if queued != popped+removed+c.Aborted()+uint64(c.PendingLen()) {
-				t.Fatalf("conservation violated: queued %d != popped %d + removed %d + aborted %d + pending %d",
-					queued, popped, removed, c.Aborted(), c.PendingLen())
+			if queued != started+removed+c.Aborted()+uint64(c.PendingLen()) {
+				t.Fatalf("conservation violated: queued %d != started %d + removed %d + aborted %d + pending %d",
+					queued, started, removed, c.Aborted(), c.PendingLen())
 			}
+		}
+		if got := c.Started(); got != started {
+			t.Fatalf("channel Started() = %d, harness began %d transfers", got, started)
+		}
+		// The event stream must tell the same story as the counters.
+		counts := map[obs.Kind]uint64{}
+		for _, e := range rec.Events() {
+			counts[e.Kind]++
+		}
+		if counts[obs.KindPreloadQueue] != queued {
+			t.Fatalf("%d queue events, queued %d", counts[obs.KindPreloadQueue], queued)
+		}
+		if want := c.Aborted() + removed; counts[obs.KindPreloadAbort] != want {
+			t.Fatalf("%d abort events, want %d (aborted %d + removed %d)",
+				counts[obs.KindPreloadAbort], want, c.Aborted(), removed)
+		}
+		if counts[obs.KindLoadStart] != started || counts[obs.KindLoadComplete] != started {
+			t.Fatalf("%d start / %d complete events, began %d transfers",
+				counts[obs.KindLoadStart], counts[obs.KindLoadComplete], started)
 		}
 	})
 }

@@ -25,6 +25,7 @@ import (
 	"fmt"
 
 	"sgxpreload/internal/mem"
+	"sgxpreload/internal/obs"
 )
 
 // Direction of a recognized stream.
@@ -95,6 +96,8 @@ type entry struct {
 	stpn mem.PageID
 	pend mem.PageID // furthest predicted page; == stpn before first prediction
 	dir  Direction  // 0 until the second fault fixes the direction
+	id   uint64     // lifecycle tag for stream events (1-based)
+	hits uint64     // faults that extended this stream
 }
 
 // Predictor is the multiple-stream predictor of Algorithm 1. The zero
@@ -113,6 +116,9 @@ type Predictor struct {
 
 	hits   uint64 // faults that extended a stream
 	misses uint64 // faults that started a new stream
+
+	nextStream uint64   // stream id allocator
+	hook       obs.Hook // nil = observability disabled
 }
 
 // New returns a predictor for the given configuration.
@@ -125,6 +131,13 @@ func New(cfg Config) (*Predictor, error) {
 
 // Config returns the predictor's configuration.
 func (p *Predictor) Config() Config { return p.cfg }
+
+// SetHook installs an event hook for stream-lifecycle events (nil
+// disables). The predictor has no clock of its own — it sees only the
+// fault-page sequence — so it emits events with a zero timestamp; the
+// kernel installs an obs.Clocked wrapper that stamps them with the
+// fault's resume cycle.
+func (p *Predictor) SetHook(h obs.Hook) { p.hook = h }
 
 // Stopped reports whether the global abort has fired. Once stopped, the
 // predictor never produces another prediction: the paper's preloading
@@ -152,15 +165,24 @@ func (p *Predictor) OnFault(npn mem.PageID) []mem.PageID {
 			continue
 		}
 		p.hits++
+		e.hits++
 		e.stpn = npn
 		e.dir = dir
 		pend, out := p.predict(npn, dir)
 		e.pend = pend
+		if p.hook != nil {
+			p.hook.Emit(obs.Event{Kind: obs.KindStreamHit, Page: npn,
+				Batch: e.id, V1: uint64(len(out))})
+		}
 		p.moveToHead(i)
 		return out
 	}
 	p.misses++
-	p.insert(entry{stpn: npn, pend: npn})
+	p.nextStream++
+	if p.hook != nil {
+		p.hook.Emit(obs.Event{Kind: obs.KindStreamStart, Page: npn, Batch: p.nextStream})
+	}
+	p.insert(entry{stpn: npn, pend: npn, id: p.nextStream})
 	return nil
 }
 
@@ -240,6 +262,9 @@ func (p *Predictor) moveToHead(i int) {
 func (p *Predictor) insert(e entry) {
 	if len(p.streams) < p.cfg.StreamListLen {
 		p.streams = append(p.streams, entry{})
+	} else if p.hook != nil {
+		tail := p.streams[len(p.streams)-1]
+		p.hook.Emit(obs.Event{Kind: obs.KindStreamEnd, Batch: tail.id, V1: tail.hits})
 	}
 	copy(p.streams[1:], p.streams[:len(p.streams)-1])
 	p.streams[0] = e

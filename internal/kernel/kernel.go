@@ -26,6 +26,7 @@ import (
 	"sgxpreload/internal/dfp"
 	"sgxpreload/internal/epc"
 	"sgxpreload/internal/mem"
+	"sgxpreload/internal/obs"
 )
 
 // Config configures the kernel model.
@@ -73,6 +74,13 @@ type Config struct {
 	// LowWater and HighWater are the reclaimer's free-frame watermarks;
 	// zero values select EPCPages/32 and EPCPages/16.
 	LowWater, HighWater int
+	// Hook, when non-nil, receives the kernel's event timeline (faults,
+	// loads, evictions, scans, DFP-stop; see package obs). The hook is
+	// also installed on the load channel and — via a clock adapter — on
+	// the DFP predictor. Every emission site is nil-checked, so a nil
+	// Hook costs only untaken branches, and a hook never perturbs the
+	// simulated virtual time.
+	Hook obs.Hook
 }
 
 // DefaultScanPeriod is the service thread interval used when Config leaves
@@ -135,6 +143,9 @@ type Kernel struct {
 	stats Stats
 
 	nextScan uint64
+
+	hook obs.Hook // nil = observability disabled
+	now  uint64   // clock mirror for predictor-emitted events
 }
 
 // New builds a kernel from cfg with its own EPC and load channel.
@@ -164,7 +175,7 @@ func NewShared(cfg Config, e *epc.EPC, ch *channel.Channel) (*Kernel, error) {
 	if cfg.RangeLo >= cfg.RangeHi {
 		return nil, fmt.Errorf("kernel: empty page range [%d, %d)", cfg.RangeLo, cfg.RangeHi)
 	}
-	k := &Kernel{cfg: cfg, epc: e, ch: ch}
+	k := &Kernel{cfg: cfg, epc: e, ch: ch, hook: cfg.Hook}
 	switch {
 	case cfg.Predictor != nil:
 		k.pred = cfg.Predictor
@@ -174,6 +185,14 @@ func NewShared(cfg Config, e *epc.EPC, ch *channel.Channel) (*Kernel, error) {
 			return nil, err
 		}
 		k.pred = p
+	}
+	if k.hook != nil {
+		ch.SetHook(k.hook)
+		// The predictor sees only the fault-page sequence, so its
+		// stream-lifecycle events are stamped by the kernel's clock.
+		if sh, ok := k.pred.(interface{ SetHook(obs.Hook) }); ok {
+			sh.SetHook(obs.Clocked(k.hook, &k.now))
+		}
 	}
 	if k.cfg.ScanPeriod == 0 {
 		k.cfg.ScanPeriod = DefaultScanPeriod
@@ -243,6 +262,11 @@ func (k *Kernel) peekStartable(now uint64) (channel.Request, bool) {
 		}
 		if k.epc.Present(req.Page) {
 			k.stats.PreloadsDropped++
+			if k.hook != nil {
+				k.hook.Emit(obs.Event{T: max64(k.ch.BusyUntil(), req.Enqueued),
+					Kind: obs.KindPreloadAbort, Page: req.Page, Batch: req.Batch,
+					V1: obs.AbortResident})
+			}
 			continue
 		}
 		start := max64(k.ch.BusyUntil(), req.Enqueued)
@@ -288,6 +312,9 @@ func (k *Kernel) beginLoad(page mem.PageID, start uint64, preload bool, batch ui
 			k.epc.Evict(victim)
 			k.stats.Evictions++
 			occ += k.cfg.Costs.Evict
+			if k.hook != nil {
+				k.hook.Emit(obs.Event{T: start, Kind: obs.KindEvict, Page: victim})
+			}
 		}
 	}
 	if preload {
@@ -322,28 +349,35 @@ func (k *Kernel) complete(ld channel.Load) {
 func (k *Kernel) HandleFault(now uint64, page mem.PageID) uint64 {
 	k.stats.DemandFaults++
 	k.stats.AEXCycles += k.cfg.Costs.AEX
+	if k.hook != nil {
+		k.hook.Emit(obs.Event{T: now, Kind: obs.KindFaultBegin, Page: page})
+	}
 	t := now + k.cfg.Costs.AEX
 	k.Sync(t)
 
 	var done uint64
+	class := obs.FaultDemand
 	switch {
 	case k.epc.Present(page):
 		// A preload completed while the thread was exiting.
 		k.stats.PresentOnArrival++
+		class = obs.FaultPresentOnArrival
 		done = t
 	case k.ch.InflightPage() == page:
 		// The page is mid-transfer; the handler can only wait — the load
 		// channel is non-preemptible.
 		k.stats.InflightHits++
+		class = obs.FaultInflightWait
 		done = k.ch.BusyUntil()
 		k.stats.LoadWaitCycles += done - t
 		k.Sync(done)
 	default:
-		if k.ch.AbortBatchContaining(page) {
+		if k.ch.AbortBatchContaining(page, t) {
 			// The fault landed inside a predicted-but-unloaded window:
 			// the paper aborts the remainder of that prediction and
 			// demand-loads the page.
 			k.stats.InWindowAborts++
+			class = obs.FaultInWindowAbort
 		}
 		// The demand load takes the channel as soon as the (non-
 		// preemptible) in-progress transfer finishes, jumping ahead of any
@@ -362,6 +396,11 @@ func (k *Kernel) HandleFault(now uint64, page mem.PageID) uint64 {
 	resume := done + k.cfg.Costs.Eresume
 	k.stats.EresumeCycles += k.cfg.Costs.Eresume
 	k.epc.Touch(page)
+	if k.hook != nil {
+		k.hook.Emit(obs.Event{T: resume, Kind: obs.KindFaultEnd, Page: page,
+			V1: resume - now, V2: class})
+		k.now = resume // stamp for predictor stream events
+	}
 	k.predict(page, resume)
 	return resume
 }
@@ -405,17 +444,20 @@ func (k *Kernel) NotifyLoad(now uint64, page mem.PageID) uint64 {
 	k.Sync(now)
 
 	var done uint64
+	class := obs.NotifyLoaded
 	switch {
 	case k.epc.Present(page):
 		k.stats.NotifyHits++
+		class = obs.NotifyResident
 		done = now
 	case k.ch.InflightPage() == page:
 		k.stats.NotifyHits++
+		class = obs.NotifyInflight
 		done = k.ch.BusyUntil()
 		k.stats.NotifyWaitCycles += done - now
 		k.Sync(done)
 	default:
-		if k.ch.RemovePending(page) {
+		if k.ch.RemovePending(page, now) {
 			k.stats.PreloadsDropped++
 		}
 		start := max64(now, k.ch.BusyUntil())
@@ -429,6 +471,10 @@ func (k *Kernel) NotifyLoad(now uint64, page mem.PageID) uint64 {
 		k.stats.NotifyWaitCycles += done - now
 	}
 	k.epc.Touch(page)
+	if k.hook != nil {
+		k.hook.Emit(obs.Event{T: now, Kind: obs.KindSIPNotify, Page: page,
+			V1: done - now, V2: class})
+	}
 	return done
 }
 
@@ -469,6 +515,10 @@ func (k *Kernel) MaybeScan(now uint64) {
 		k.backgroundReclaim(now)
 	}
 	if k.pred == nil {
+		if k.hook != nil {
+			k.hook.Emit(obs.Event{T: now, Kind: obs.KindScan,
+				V2: uint64(k.epc.Resident())})
+		}
 		return
 	}
 	accessed := 0
@@ -478,13 +528,23 @@ func (k *Kernel) MaybeScan(now uint64) {
 		}
 	})
 	k.pred.NoteAccessed(accessed)
+	if k.hook != nil {
+		k.hook.Emit(obs.Event{T: now, Kind: obs.KindScan,
+			V1: uint64(accessed), V2: uint64(k.epc.Resident())})
+		k.hook.Emit(obs.Event{T: now, Kind: obs.KindAccuracy,
+			V1: k.pred.PreloadCounter(), V2: k.pred.AccPreloadCounter()})
+	}
 	if k.pred.EvaluateStop() && !k.stats.DFPStopped {
 		k.stats.DFPStopped = true
 		k.stats.DFPStopCycle = now
+		if k.hook != nil {
+			k.hook.Emit(obs.Event{T: now, Kind: obs.KindDFPStop,
+				V1: k.pred.PreloadCounter(), V2: k.pred.AccPreloadCounter()})
+		}
 		// The preloading thread stops itself: whatever it had queued is
 		// abandoned (the in-progress transfer still finishes — it is
 		// non-preemptible).
-		k.stats.PreloadsDropped += uint64(k.ch.AbortPending())
+		k.stats.PreloadsDropped += uint64(k.ch.AbortPending(now))
 	}
 }
 
@@ -506,6 +566,11 @@ func (k *Kernel) Drain(now uint64) uint64 {
 		}
 		if k.epc.Present(req.Page) {
 			k.stats.PreloadsDropped++
+			if k.hook != nil {
+				k.hook.Emit(obs.Event{T: max64(k.ch.BusyUntil(), req.Enqueued),
+					Kind: obs.KindPreloadAbort, Page: req.Page, Batch: req.Batch,
+					V1: obs.AbortResident})
+			}
 			continue
 		}
 		k.beginLoad(req.Page, max64(k.ch.BusyUntil(), req.Enqueued), true, req.Batch)
@@ -531,6 +596,9 @@ func (k *Kernel) backgroundReclaim(now uint64) {
 		k.epc.Evict(victim)
 		k.stats.Evictions++
 		k.stats.BackgroundEvictions++
+		if k.hook != nil {
+			k.hook.Emit(obs.Event{T: now, Kind: obs.KindEvict, Page: victim, V1: 1})
+		}
 		free++
 		batch++
 	}

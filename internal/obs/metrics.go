@@ -1,0 +1,303 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Derived metrics. Every function here consumes a recorded event slice
+// (in emission order, as a Recorder collects it) and produces a compact,
+// deterministic summary; none of them mutate the input.
+
+// Point is one sample of a time series.
+type Point struct {
+	// T is the sample's virtual-cycle timestamp.
+	T uint64
+	// V is the sample value.
+	V float64
+}
+
+// Span returns the run's observed extent: the largest timestamp or
+// transfer-completion cycle in the stream (0 for an empty stream).
+func Span(events []Event) uint64 {
+	var end uint64
+	for _, e := range events {
+		if e.T > end {
+			end = e.T
+		}
+		if e.Kind == KindLoadStart && e.V1 > end {
+			end = e.V1
+		}
+	}
+	return end
+}
+
+// Utilization buckets the run into n equal windows and returns the
+// fraction of each window the load channel spent busy, computed from
+// KindLoadStart events (each carries its completion cycle in V1).
+// Transfers spanning a bucket boundary contribute to every bucket they
+// overlap. Each returned point's T is its bucket's start cycle.
+func Utilization(events []Event, n int) []Point {
+	span := Span(events)
+	if n <= 0 || span == 0 {
+		return nil
+	}
+	busy := make([]uint64, n)
+	width := (span + uint64(n) - 1) / uint64(n)
+	if width == 0 {
+		width = 1
+	}
+	for _, e := range events {
+		if e.Kind != KindLoadStart || e.V1 <= e.T {
+			continue
+		}
+		for b := e.T / width; b < uint64(n) && b*width < e.V1; b++ {
+			lo, hi := b*width, (b+1)*width
+			if e.T > lo {
+				lo = e.T
+			}
+			if e.V1 < hi {
+				hi = e.V1
+			}
+			if hi > lo {
+				busy[b] += hi - lo
+			}
+		}
+	}
+	out := make([]Point, n)
+	for i := range out {
+		out[i] = Point{T: uint64(i) * width, V: float64(busy[i]) / float64(width)}
+	}
+	return out
+}
+
+// BusyCycles returns the total cycles the channel spent transferring.
+func BusyCycles(events []Event) uint64 {
+	var busy uint64
+	for _, e := range events {
+		if e.Kind == KindLoadStart && e.V1 > e.T {
+			busy += e.V1 - e.T
+		}
+	}
+	return busy
+}
+
+// Histogram is a fixed-bound latency histogram. Counts[i] holds samples
+// with latency <= Bounds[i]; Counts[len(Bounds)] holds the overflow.
+type Histogram struct {
+	Bounds []uint64
+	Counts []uint64
+	Total  uint64
+	Sum    uint64
+	Max    uint64
+}
+
+// Mean returns the mean sample value (0 for an empty histogram).
+func (h Histogram) Mean() float64 {
+	if h.Total == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Total)
+}
+
+// DefaultLatencyBounds brackets the protocol's interesting fault
+// latencies: the ~64k-cycle bare fault cost, preload-shortened faults
+// below it, and channel-queueing pileups above it.
+func DefaultLatencyBounds() []uint64 {
+	return []uint64{25_000, 50_000, 65_000, 80_000, 110_000, 150_000, 250_000, 500_000}
+}
+
+// FaultLatencies builds a histogram of fault latencies (KindFaultEnd's
+// V1) over the given ascending bounds.
+func FaultLatencies(events []Event, bounds []uint64) Histogram {
+	h := Histogram{Bounds: bounds, Counts: make([]uint64, len(bounds)+1)}
+	for _, e := range events {
+		if e.Kind != KindFaultEnd {
+			continue
+		}
+		h.Total++
+		h.Sum += e.V1
+		if e.V1 > h.Max {
+			h.Max = e.V1
+		}
+		slot := len(bounds)
+		for i, b := range bounds {
+			if e.V1 <= b {
+				slot = i
+				break
+			}
+		}
+		h.Counts[slot]++
+	}
+	return h
+}
+
+// AccuracySeries returns DFP preload accuracy over time: at every
+// KindAccuracy event (one per service scan), AccPreloadCounter /
+// PreloadCounter. Scans before the first preload are skipped.
+func AccuracySeries(events []Event) []Point {
+	var out []Point
+	for _, e := range events {
+		if e.Kind != KindAccuracy || e.V1 == 0 {
+			continue
+		}
+		out = append(out, Point{T: e.T, V: float64(e.V2) / float64(e.V1)})
+	}
+	return out
+}
+
+// OccupancySeries returns resident EPC frames over time, sampled at
+// every service-thread scan (KindScan carries the resident count in V2).
+func OccupancySeries(events []Event) []Point {
+	var out []Point
+	for _, e := range events {
+		if e.Kind != KindScan {
+			continue
+		}
+		out = append(out, Point{T: e.T, V: float64(e.V2)})
+	}
+	return out
+}
+
+// StreamStats summarizes predictor stream lifecycles.
+type StreamStats struct {
+	// Started counts streams opened (KindStreamStart).
+	Started uint64
+	// Hits counts faults that extended a stream (KindStreamHit).
+	Hits uint64
+	// Evicted counts streams pushed out of the LRU list
+	// (KindStreamEnd); Started - Evicted were live at end of run.
+	Evicted uint64
+	// MaxHits is the most extensions any single evicted stream saw.
+	MaxHits uint64
+}
+
+// MeanHits returns the mean extensions per started stream.
+func (s StreamStats) MeanHits() float64 {
+	if s.Started == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Started)
+}
+
+// Streams derives StreamStats from the event stream.
+func Streams(events []Event) StreamStats {
+	var s StreamStats
+	for _, e := range events {
+		switch e.Kind {
+		case KindStreamStart:
+			s.Started++
+		case KindStreamHit:
+			s.Hits++
+		case KindStreamEnd:
+			s.Evicted++
+			if e.V1 > s.MaxHits {
+				s.MaxHits = e.V1
+			}
+		}
+	}
+	return s
+}
+
+// DFPStopAt returns the cycle the safety valve tripped, or 0 if it
+// never fired.
+func DFPStopAt(events []Event) uint64 {
+	for _, e := range events {
+		if e.Kind == KindDFPStop {
+			return e.T
+		}
+	}
+	return 0
+}
+
+// Report bundles every derived metric of one run for presentation.
+type Report struct {
+	// Counts holds per-kind event totals, indexed by Kind.
+	Counts [kindCount]uint64
+	// Span is the run's observed extent in cycles.
+	Span uint64
+	// Busy is the channel's total transfer cycles; Utilization is
+	// Busy/Span.
+	Busy        uint64
+	Utilization float64
+	// UtilizationBuckets is the channel-busy fraction per time window.
+	UtilizationBuckets []Point
+	// Latency is the fault-latency histogram.
+	Latency Histogram
+	// Accuracy is the preload-accuracy series (per service scan).
+	Accuracy []Point
+	// Occupancy is the resident-frame series (per service scan).
+	Occupancy []Point
+	// Streams summarizes predictor stream lifecycles.
+	Streams StreamStats
+	// StopCycle is the DFP-stop trip cycle (0 = never fired).
+	StopCycle uint64
+}
+
+// BuildReport derives every metric from the recorded timeline.
+func BuildReport(events []Event) Report {
+	r := Report{
+		Span:               Span(events),
+		Busy:               BusyCycles(events),
+		UtilizationBuckets: Utilization(events, 20),
+		Latency:            FaultLatencies(events, DefaultLatencyBounds()),
+		Accuracy:           AccuracySeries(events),
+		Occupancy:          OccupancySeries(events),
+		Streams:            Streams(events),
+		StopCycle:          DFPStopAt(events),
+	}
+	for _, e := range events {
+		r.Counts[e.Kind]++
+	}
+	if r.Span > 0 {
+		r.Utilization = float64(r.Busy) / float64(r.Span)
+	}
+	return r
+}
+
+// String renders the report as a deterministic text block.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "span:                %d cycles\n", r.Span)
+	fmt.Fprintf(&b, "channel busy:        %d cycles (%.1f%% utilization)\n",
+		r.Busy, 100*r.Utilization)
+	b.WriteString("events by kind:\n")
+	for _, k := range Kinds() {
+		if r.Counts[k] == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "  %-16s %d\n", k.String(), r.Counts[k])
+	}
+	if r.Latency.Total > 0 {
+		fmt.Fprintf(&b, "fault latency:       mean %.0f, max %d cycles over %d faults\n",
+			r.Latency.Mean(), r.Latency.Max, r.Latency.Total)
+		for i, bound := range r.Latency.Bounds {
+			fmt.Fprintf(&b, "  <= %-9d %d\n", bound, r.Latency.Counts[i])
+		}
+		fmt.Fprintf(&b, "  >  %-9d %d\n",
+			r.Latency.Bounds[len(r.Latency.Bounds)-1], r.Latency.Counts[len(r.Latency.Bounds)])
+	}
+	if len(r.UtilizationBuckets) > 0 {
+		b.WriteString("channel utilization over time:\n")
+		for _, p := range r.UtilizationBuckets {
+			fmt.Fprintf(&b, "  @%-12d %5.1f%%\n", p.T, 100*p.V)
+		}
+	}
+	if n := len(r.Accuracy); n > 0 {
+		fmt.Fprintf(&b, "preload accuracy:    %.3f first scan -> %.3f last scan (%d scans)\n",
+			r.Accuracy[0].V, r.Accuracy[n-1].V, n)
+	}
+	if n := len(r.Occupancy); n > 0 {
+		fmt.Fprintf(&b, "EPC occupancy:       %.0f first scan -> %.0f last scan frames\n",
+			r.Occupancy[0].V, r.Occupancy[n-1].V)
+	}
+	if r.Streams.Started > 0 {
+		fmt.Fprintf(&b, "streams:             %d started, %d extensions (mean %.2f), %d evicted, max %d hits\n",
+			r.Streams.Started, r.Streams.Hits, r.Streams.MeanHits(),
+			r.Streams.Evicted, r.Streams.MaxHits)
+	}
+	if r.StopCycle > 0 {
+		fmt.Fprintf(&b, "DFP-stop:            tripped at cycle %d\n", r.StopCycle)
+	}
+	return b.String()
+}

@@ -1,0 +1,208 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+
+	"sgxpreload/internal/mem"
+)
+
+func TestSpanAndBusy(t *testing.T) {
+	events := []Event{
+		{T: 0, Kind: KindLoadStart, Page: 1, V1: 50},
+		{T: 60, Kind: KindScan, V2: 3},
+	}
+	if got := Span(events); got != 60 {
+		t.Fatalf("Span = %d, want 60", got)
+	}
+	// A transfer's completion can extend the span past every timestamp.
+	events[0].V1 = 90
+	if got := Span(events); got != 90 {
+		t.Fatalf("Span = %d, want 90 (open transfer)", got)
+	}
+	if got := BusyCycles(events); got != 90 {
+		t.Fatalf("BusyCycles = %d, want 90", got)
+	}
+	if Span(nil) != 0 || BusyCycles(nil) != 0 {
+		t.Fatal("empty stream not zero")
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	events := []Event{
+		{T: 0, Kind: KindLoadStart, Page: 1, V1: 50},
+		{T: 100, Kind: KindScan}, // fixes the span at 100
+	}
+	u := Utilization(events, 2)
+	if len(u) != 2 {
+		t.Fatalf("got %d buckets, want 2", len(u))
+	}
+	if u[0].V != 1.0 || u[1].V != 0.0 {
+		t.Fatalf("utilization = %.2f, %.2f; want 1.00, 0.00", u[0].V, u[1].V)
+	}
+	if u[0].T != 0 || u[1].T != 50 {
+		t.Fatalf("bucket starts = %d, %d; want 0, 50", u[0].T, u[1].T)
+	}
+	// A transfer spanning the boundary contributes to both buckets.
+	events[0] = Event{T: 25, Kind: KindLoadStart, Page: 1, V1: 75}
+	u = Utilization(events, 2)
+	if u[0].V != 0.5 || u[1].V != 0.5 {
+		t.Fatalf("boundary transfer: %.2f, %.2f; want 0.50, 0.50", u[0].V, u[1].V)
+	}
+	if Utilization(nil, 4) != nil || Utilization(events, 0) != nil {
+		t.Fatal("degenerate utilization not nil")
+	}
+}
+
+func TestFaultLatencies(t *testing.T) {
+	bounds := []uint64{10, 20}
+	events := []Event{
+		{Kind: KindFaultEnd, V1: 5},
+		{Kind: KindFaultEnd, V1: 15},
+		{Kind: KindFaultEnd, V1: 100},
+		{Kind: KindScan}, // ignored
+	}
+	h := FaultLatencies(events, bounds)
+	if h.Total != 3 || h.Sum != 120 || h.Max != 100 {
+		t.Fatalf("total %d sum %d max %d", h.Total, h.Sum, h.Max)
+	}
+	if h.Counts[0] != 1 || h.Counts[1] != 1 || h.Counts[2] != 1 {
+		t.Fatalf("counts = %v", h.Counts)
+	}
+	if h.Mean() != 40 {
+		t.Fatalf("mean = %v, want 40", h.Mean())
+	}
+	if (Histogram{}).Mean() != 0 {
+		t.Fatal("empty histogram mean not 0")
+	}
+}
+
+func TestAccuracyAndOccupancySeries(t *testing.T) {
+	events := []Event{
+		{T: 10, Kind: KindAccuracy, V1: 0, V2: 0}, // before first preload: skipped
+		{T: 20, Kind: KindAccuracy, V1: 10, V2: 4},
+		{T: 30, Kind: KindAccuracy, V1: 20, V2: 15},
+		{T: 20, Kind: KindScan, V1: 1, V2: 7},
+		{T: 30, Kind: KindScan, V1: 0, V2: 9},
+	}
+	acc := AccuracySeries(events)
+	if len(acc) != 2 || acc[0].V != 0.4 || acc[1].V != 0.75 {
+		t.Fatalf("accuracy = %+v", acc)
+	}
+	occ := OccupancySeries(events)
+	if len(occ) != 2 || occ[0].V != 7 || occ[1].V != 9 {
+		t.Fatalf("occupancy = %+v", occ)
+	}
+}
+
+func TestStreamsAndStop(t *testing.T) {
+	events := []Event{
+		{Kind: KindStreamStart, Batch: 1},
+		{Kind: KindStreamStart, Batch: 2},
+		{Kind: KindStreamHit, Batch: 1, V1: 4},
+		{Kind: KindStreamHit, Batch: 1, V1: 4},
+		{Kind: KindStreamHit, Batch: 2, V1: 4},
+		{Kind: KindStreamEnd, Batch: 1, V1: 2},
+		{T: 500, Kind: KindDFPStop},
+	}
+	s := Streams(events)
+	if s.Started != 2 || s.Hits != 3 || s.Evicted != 1 || s.MaxHits != 2 {
+		t.Fatalf("streams = %+v", s)
+	}
+	if s.MeanHits() != 1.5 {
+		t.Fatalf("mean hits = %v, want 1.5", s.MeanHits())
+	}
+	if got := DFPStopAt(events); got != 500 {
+		t.Fatalf("DFPStopAt = %d, want 500", got)
+	}
+	if DFPStopAt(nil) != 0 {
+		t.Fatal("DFPStopAt of empty stream not 0")
+	}
+}
+
+func TestBuildReport(t *testing.T) {
+	events := []Event{
+		{T: 0, Kind: KindFaultBegin, Page: 1},
+		{T: 64000, Kind: KindFaultEnd, Page: 1, V1: 64000},
+		{T: 100, Kind: KindLoadStart, Page: 1, V1: 44100},
+		{T: 44100, Kind: KindLoadComplete, Page: 1},
+		{T: 50000, Kind: KindScan, V1: 2, V2: 12},
+		{T: 50000, Kind: KindAccuracy, V1: 8, V2: 6},
+		{T: 60000, Kind: KindDFPStop},
+	}
+	r := BuildReport(events)
+	if r.Counts[KindFaultEnd] != 1 || r.Counts[KindLoadStart] != 1 {
+		t.Fatalf("counts = %v", r.Counts)
+	}
+	if r.Span != 64000 || r.Busy != 44000 {
+		t.Fatalf("span %d busy %d", r.Span, r.Busy)
+	}
+	if r.StopCycle != 60000 {
+		t.Fatalf("stop cycle = %d", r.StopCycle)
+	}
+	text := r.String()
+	for _, want := range []string{
+		"span:", "channel busy:", "fault_end", "fault latency:",
+		"preload accuracy:", "EPC occupancy:", "DFP-stop:            tripped at cycle 60000",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("report missing %q:\n%s", want, text)
+		}
+	}
+	if text != BuildReport(events).String() {
+		t.Fatal("report text not deterministic")
+	}
+}
+
+func TestTimeline(t *testing.T) {
+	var events []Event
+	for i := uint64(0); i < 500; i++ {
+		events = append(events,
+			Event{T: i * 100, Kind: KindFaultEnd, Page: mem.PageID(i), V1: 64000},
+			Event{T: i*100 + 10, Kind: KindLoadComplete, Page: mem.PageID(i + 1), V2: 1},
+			Event{T: i*100 + 20, Kind: KindEvict, Page: mem.PageID(i / 2)},
+		)
+	}
+	events = append(events,
+		Event{T: 25000, Kind: KindDFPStop},
+		Event{T: 30, Kind: KindEvict, Page: mem.NoPage}, // background burst: no y
+	)
+	c := Timeline("demo", events, 100)
+	if len(c.Series) != 4 {
+		t.Fatalf("got %d series, want fault/preload/evict/DFP-stop", len(c.Series))
+	}
+	for _, s := range c.Series[:3] {
+		if len(s.X) > 100 {
+			t.Errorf("series %s not downsampled: %d points", s.Name, len(s.X))
+		}
+		if s.X[0] != s.X[0] || len(s.X) != len(s.Y) {
+			t.Errorf("series %s malformed", s.Name)
+		}
+	}
+	stop := c.Series[3]
+	if stop.Name != "DFP-stop" || stop.Kind != "line" || stop.X[0] != 25000 || stop.X[1] != 25000 {
+		t.Fatalf("stop series = %+v", stop)
+	}
+	if svg := c.SVG(); !strings.Contains(svg, "demo") {
+		t.Fatal("SVG missing title")
+	}
+}
+
+func TestDownsampleKeepsEnds(t *testing.T) {
+	var x, y []float64
+	for i := 0; i < 1000; i++ {
+		x = append(x, float64(i))
+		y = append(y, float64(i*2))
+	}
+	ox, oy := downsample(x, y, 10)
+	if len(ox) != 10 || len(oy) != 10 {
+		t.Fatalf("downsample kept %d points", len(ox))
+	}
+	if ox[0] != 0 || ox[9] != 999 {
+		t.Fatalf("ends not preserved: %v, %v", ox[0], ox[9])
+	}
+	ox, _ = downsample(x, y, 0)
+	if len(ox) != 1000 {
+		t.Fatal("n <= 0 must disable the cap")
+	}
+}

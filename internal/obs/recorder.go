@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"sgxpreload/internal/mem"
+)
+
+// Recorder is the standard Hook: it appends every event to an in-memory
+// timeline in emission order. The engine is single-goroutine per run, so
+// the Recorder needs no locking; one Recorder must observe one run.
+//
+// Emission order is causal order, not timestamp order: a completion the
+// kernel retires lazily carries the (earlier) cycle it finished at. The
+// derived metrics in this package handle that; consumers that need a
+// time-sorted view should sort a copy by T.
+type Recorder struct {
+	events []Event
+}
+
+// NewRecorder returns an empty Recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Emit implements Hook.
+func (r *Recorder) Emit(e Event) { r.events = append(r.events, e) }
+
+// Events returns the recorded timeline (the recorder's own slice; do not
+// mutate).
+func (r *Recorder) Events() []Event { return r.events }
+
+// Len returns the number of recorded events.
+func (r *Recorder) Len() int { return len(r.events) }
+
+// Reset discards the timeline, keeping the backing array.
+func (r *Recorder) Reset() { r.events = r.events[:0] }
+
+// pageField renders a PageID for export: mem.NoPage (the background
+// write-back sentinel) becomes -1 so consumers need no 64-bit sentinel
+// knowledge.
+func pageField(p mem.PageID) int64 {
+	if p == mem.NoPage {
+		return -1
+	}
+	return int64(p)
+}
+
+// WriteJSONL writes the timeline as JSON Lines, one event per line with
+// a fixed field order, so identical runs produce identical bytes:
+//
+//	{"t":123,"kind":"fault_begin","page":42,"batch":0,"v1":0,"v2":0}
+func (r *Recorder) WriteJSONL(w io.Writer) error {
+	return writeEvents(w, r.events, func(bw *bufio.Writer, e Event) {
+		fmt.Fprintf(bw, `{"t":%d,"kind":%q,"page":%d,"batch":%d,"v1":%d,"v2":%d}`+"\n",
+			e.T, e.Kind.String(), pageField(e.Page), e.Batch, e.V1, e.V2)
+	})
+}
+
+// WriteCSV writes the timeline as CSV with a header row, in the same
+// deterministic field order as WriteJSONL.
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "t,kind,page,batch,v1,v2")
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	return writeEvents(w, r.events, func(bw *bufio.Writer, e Event) {
+		fmt.Fprintf(bw, "%d,%s,%d,%d,%d,%d\n",
+			e.T, e.Kind.String(), pageField(e.Page), e.Batch, e.V1, e.V2)
+	})
+}
+
+// writeEvents streams the timeline through one buffered writer.
+func writeEvents(w io.Writer, events []Event, line func(*bufio.Writer, Event)) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	for _, e := range events {
+		line(bw, e)
+	}
+	return bw.Flush()
+}

@@ -21,6 +21,10 @@ type Series struct {
 	Name string
 	X    []float64
 	Y    []float64
+	// Kind optionally overrides the chart's mark for this series
+	// ("scatter", "line", or "bar"; empty inherits Chart.Kind). Event
+	// timelines use it to overlay a marker line on a scatter field.
+	Kind string
 }
 
 // Chart describes a figure.
@@ -127,7 +131,11 @@ func (c Chart) SVG() string {
 	// Marks.
 	for si, s := range c.Series {
 		color := palette[si%len(palette)]
-		switch c.Kind {
+		kind := c.Kind
+		if s.Kind != "" {
+			kind = s.Kind
+		}
+		switch kind {
 		case "scatter":
 			for i := range s.X {
 				fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="1.6" fill="%s" fill-opacity="0.6"/>`+"\n",

@@ -1,0 +1,167 @@
+package sim
+
+import (
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"sgxpreload/internal/mem"
+	"sgxpreload/internal/obs"
+	"sgxpreload/internal/workload"
+)
+
+// mixedTrace interleaves a sequential sweep with a strided re-visit so a
+// run produces faults, preloads, in-window aborts, and evictions.
+func mixedTrace(pages int) []mem.Access {
+	var out []mem.Access
+	for i := 0; i < pages; i++ {
+		out = append(out, mem.Access{Site: 1, Page: mem.PageID(i), Compute: 500})
+		if i%7 == 0 {
+			out = append(out, mem.Access{Site: 2, Page: mem.PageID((i * 13) % pages), Compute: 500})
+		}
+	}
+	return out
+}
+
+// The hook must only observe: attaching a recorder may not change any
+// simulated outcome.
+func TestHookDoesNotPerturbRun(t *testing.T) {
+	trace := mixedTrace(2000)
+	for _, scheme := range []Scheme{Baseline, DFP, DFPStop} {
+		c := cfg(scheme)
+		plain, err := Run(trace, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Hook = obs.NewRecorder()
+		hooked, err := Run(trace, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plain != hooked {
+			t.Errorf("%s: result changed under observation:\n  plain  %+v\n  hooked %+v",
+				scheme, plain, hooked)
+		}
+	}
+}
+
+// Two hooked runs of one configuration must record byte-identical
+// timelines.
+func TestEventStreamDeterministic(t *testing.T) {
+	trace := mixedTrace(2000)
+	export := func() string {
+		c := cfg(DFPStop)
+		rec := obs.NewRecorder()
+		c.Hook = rec
+		if _, err := Run(trace, c); err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		if err := rec.WriteJSONL(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	a, b := export(), export()
+	if a == "" || a != b {
+		t.Fatalf("event streams differ (lengths %d vs %d)", len(a), len(b))
+	}
+}
+
+// The recorded timeline must agree with the run's counters, and the
+// DFP-stop trip event must carry the exact cycle the Result reports.
+func TestEventsMatchResultCounters(t *testing.T) {
+	w, err := workload.ByName("deepsjeng")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := obs.NewRecorder()
+	res, err := Run(w.Generate(workload.Ref), Config{
+		Scheme:       DFPStop,
+		EPCPages:     2048,
+		ELRangePages: w.ELRangePages(),
+		Hook:         rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Kernel.DFPStopped {
+		t.Fatal("deepsjeng under DFP-stop did not trip the safety valve")
+	}
+	if got := obs.DFPStopAt(rec.Events()); got != res.Kernel.DFPStopCycle {
+		t.Errorf("DFP-stop event at cycle %d, Result says %d", got, res.Kernel.DFPStopCycle)
+	}
+	counts := map[obs.Kind]uint64{}
+	for _, e := range rec.Events() {
+		counts[e.Kind]++
+	}
+	faults := res.Kernel.DemandFaults + res.Kernel.PresentOnArrival +
+		res.Kernel.InflightHits + res.Kernel.InWindowAborts
+	if counts[obs.KindFaultBegin] != faults || counts[obs.KindFaultEnd] != faults {
+		t.Errorf("%d begin / %d end events, Result counts %d faults",
+			counts[obs.KindFaultBegin], counts[obs.KindFaultEnd], faults)
+	}
+	if counts[obs.KindPreloadQueue] != res.Kernel.PreloadsQueued {
+		t.Errorf("%d queue events, Result counts %d", counts[obs.KindPreloadQueue], res.Kernel.PreloadsQueued)
+	}
+	if counts[obs.KindEvict] != res.Kernel.Evictions {
+		t.Errorf("%d evict events, Result counts %d", counts[obs.KindEvict], res.Kernel.Evictions)
+	}
+	if counts[obs.KindScan] != res.Kernel.Scans {
+		t.Errorf("%d scan events, Result counts %d", counts[obs.KindScan], res.Kernel.Scans)
+	}
+	if counts[obs.KindDFPStop] != 1 {
+		t.Errorf("%d stop events, want exactly 1", counts[obs.KindDFPStop])
+	}
+	// Fault-end events carry the protocol latency; their sum is bounded
+	// by the run's fault-path time (demand faults pay AEX + wait +
+	// ERESUME, the classes that skip parts of it pay less).
+	h := obs.FaultLatencies(rec.Events(), obs.DefaultLatencyBounds())
+	if h.Total != faults {
+		t.Errorf("histogram over %d faults, want %d", h.Total, faults)
+	}
+	if h.Sum == 0 || h.Sum > res.FaultCycles()+res.Kernel.NotifyWaitCycles {
+		t.Errorf("summed fault latency %d vs fault-path cycles %d", h.Sum, res.FaultCycles())
+	}
+}
+
+// TestHookOverheadGuard measures the disabled-hook cost: a nil-hook run
+// must be within 2% of itself re-measured, and a no-op-hook run within
+// 2% of the nil-hook run. Wall-clock measurement is noisy, so the guard
+// only runs when SGXSIM_HOOKGUARD=1 (make verify-obs sets it).
+func TestHookOverheadGuard(t *testing.T) {
+	if os.Getenv("SGXSIM_HOOKGUARD") != "1" {
+		t.Skip("set SGXSIM_HOOKGUARD=1 to measure disabled-hook overhead")
+	}
+	trace := mixedTrace(60000)
+	guardCfg := func() Config {
+		return Config{Scheme: DFPStop, EPCPages: 2048, ELRangePages: 65536}
+	}
+	measure := func(c Config) time.Duration {
+		best := time.Duration(1<<63 - 1)
+		for i := 0; i < 5; i++ {
+			start := time.Now()
+			if _, err := Run(trace, c); err != nil {
+				t.Fatal(err)
+			}
+			if d := time.Since(start); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	nilHook := measure(guardCfg())
+	c := guardCfg()
+	c.Hook = nopHook{}
+	withHook := measure(c)
+	overhead := float64(withHook-nilHook) / float64(nilHook)
+	t.Logf("nil hook %v, no-op hook %v: %+.2f%% overhead", nilHook, withHook, 100*overhead)
+	if overhead > 0.02 {
+		t.Errorf("hook plumbing costs %+.2f%% with a no-op hook, budget is 2%%", 100*overhead)
+	}
+}
+
+type nopHook struct{}
+
+func (nopHook) Emit(obs.Event) {}

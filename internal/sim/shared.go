@@ -8,6 +8,7 @@ import (
 	"sgxpreload/internal/epc"
 	"sgxpreload/internal/kernel"
 	"sgxpreload/internal/mem"
+	"sgxpreload/internal/obs"
 	"sgxpreload/internal/sip"
 )
 
@@ -48,6 +49,11 @@ type SharedConfig struct {
 	ScanPeriod  uint64
 	MaxPending  int
 	EvictPolicy epc.Policy
+	// Hook, when non-nil, receives every enclave's event timeline (see
+	// package obs). Pages in shared-run events are global — each
+	// enclave's slice of the shared space — so the enclaves remain
+	// distinguishable on one timeline.
+	Hook obs.Hook
 }
 
 // SharedResult is one enclave's outcome of a shared run.
@@ -106,6 +112,7 @@ func RunShared(enclaves []Enclave, cfg SharedConfig) ([]SharedResult, error) {
 			MaxPending:   cfg.MaxPending,
 			RangeLo:      base,
 			RangeHi:      base + mem.PageID(e.Pages),
+			Hook:         cfg.Hook,
 		}
 		if e.Scheme.UsesDFP() {
 			d := e.DFP

@@ -18,6 +18,7 @@ import (
 	"sgxpreload/internal/epc"
 	"sgxpreload/internal/kernel"
 	"sgxpreload/internal/mem"
+	"sgxpreload/internal/obs"
 	"sgxpreload/internal/sip"
 )
 
@@ -94,6 +95,12 @@ type Config struct {
 	// BackgroundReclaim enables the ksgxswapd-style watermark reclaimer
 	// (see kernel.Config); used by the reclaim ablation.
 	BackgroundReclaim bool
+	// Hook, when non-nil, receives the run's event timeline (see package
+	// obs): faults, channel transfers, preload queue/abort, evictions,
+	// service scans, DFP accuracy and stop, predictor stream lifecycles.
+	// A nil Hook costs only untaken branches, and the simulated virtual
+	// time is identical with and without a hook.
+	Hook obs.Hook
 }
 
 // Result is the outcome of a run.
@@ -148,6 +155,7 @@ func Run(trace []mem.Access, cfg Config) (Result, error) {
 		ScanPeriod:   cfg.ScanPeriod,
 		MaxPending:   cfg.MaxPending,
 		EvictPolicy:  cfg.EvictPolicy,
+		Hook:         cfg.Hook,
 
 		BackgroundReclaim: cfg.BackgroundReclaim,
 	}

@@ -164,7 +164,22 @@ func FitLinear(samples []Sample) Fit {
 	}
 	den := n*sxx - sx*sx
 	if den == 0 {
-		return Fit{Intercept: sy / n}
+		// Every sample shares one index: no slope is identifiable, the
+		// best fit is the constant mean. If every page is also the same,
+		// that constant fit is perfect (ssRes == 0), so R² is 1 — a flat
+		// single-index trace must not be misread as non-sequential noise
+		// in the Figure 3 classification.
+		mean := sy / n
+		var ssTot float64
+		for _, s := range samples {
+			d := float64(s.Page) - mean
+			ssTot += d * d
+		}
+		f := Fit{Intercept: mean}
+		if ssTot == 0 {
+			f.R2 = 1
+		}
+		return f
 	}
 	slope := (n*sxy - sx*sy) / den
 	intercept := (sy - slope*sx) / n

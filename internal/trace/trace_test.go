@@ -151,6 +151,22 @@ func TestFitLinearDegenerate(t *testing.T) {
 	}
 }
 
+func TestFitLinearSingleIndex(t *testing.T) {
+	// den == 0: every sample shares one index, so no slope is
+	// identifiable. When the pages are also identical the constant fit is
+	// perfect — this used to report R2 = 0 and misclassify a flat
+	// single-index trace as noise.
+	f := FitLinear([]Sample{{5, 9}, {5, 9}, {5, 9}})
+	if f.Slope != 0 || f.Intercept != 9 || f.R2 != 1 {
+		t.Fatalf("constant single-index fit = %+v, want intercept 9, R2 1", f)
+	}
+	// With scattered pages at one index nothing is explained: R2 stays 0.
+	f = FitLinear([]Sample{{5, 2}, {5, 4}, {5, 9}})
+	if f.Slope != 0 || f.Intercept != 5 || f.R2 != 0 {
+		t.Fatalf("scattered single-index fit = %+v, want intercept 5, R2 0", f)
+	}
+}
+
 func TestFitLinearNoiseHasLowR2(t *testing.T) {
 	r := rng.New(11)
 	var s []Sample
