@@ -2,7 +2,11 @@
 
 GO ?= go
 
-.PHONY: build test race bench verify verify-obs
+.PHONY: build test race bench bench-micro bench-json bench-smoke verify verify-obs
+
+# The fault-servicing hot-path microbenchmarks (channel deque, EPC page
+# table, end-to-end HandleFault).
+BENCH_MICRO = BenchmarkPendingQueue|BenchmarkPendingMembership|BenchmarkEPCLookup|BenchmarkEPCPresent|BenchmarkHandleFault
 
 build:
 	$(GO) build ./...
@@ -18,9 +22,26 @@ race:
 bench:
 	$(GO) test ./internal/experiments/ -run '^$$' -bench 'BenchmarkRunAll' -benchtime 2x
 
+bench-micro:
+	$(GO) test ./internal/channel/ ./internal/epc/ ./internal/kernel/ \
+		-run '^$$' -bench '$(BENCH_MICRO)' -benchmem
+
+# Regenerate BENCH_engine.json: current microbenchmark + RunAll numbers,
+# with the previous committed numbers carried forward as the baseline.
+bench-json:
+	{ $(GO) test ./internal/channel/ ./internal/epc/ ./internal/kernel/ \
+		-run '^$$' -bench '$(BENCH_MICRO)' -benchmem ; \
+	  $(GO) test ./internal/experiments/ -run '^$$' -bench 'BenchmarkRunAll' -benchtime 2x ; } \
+	| $(GO) run ./cmd/benchjson -baseline BENCH_engine.json -out BENCH_engine.json
+
+# One fast iteration of each benchmark; compilation + smoke for CI.
+bench-smoke:
+	$(GO) test ./internal/channel/ ./internal/epc/ ./internal/kernel/ ./internal/experiments/ \
+		-run '^$$' -bench . -benchtime 1x
+
 # Observability gate: build, race-test the instrumented packages, and
-# measure the disabled-hook overhead (a nil hook must stay within 2% of
-# a no-op hook; the guard is wall-clock based, hence opt-in via env).
+# measure the hook plumbing (a no-op hook must stay within 15% of a nil
+# hook; the guard is wall-clock based, hence opt-in via env).
 verify-obs:
 	$(GO) build ./...
 	$(GO) test -race ./internal/obs/ ./internal/channel/ ./internal/kernel/ ./internal/dfp/ ./internal/sim/

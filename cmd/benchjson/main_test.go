@@ -1,0 +1,95 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: sgxpreload/internal/epc
+BenchmarkEPCLookup-8    41293782    28.77 ns/op    0 B/op    0 allocs/op
+BenchmarkEPCPresent-8   100000000    6.460 ns/op
+PASS
+ok   sgxpreload/internal/epc 3.1s
+BenchmarkHandleFault-8   2359641   507.5 ns/op   16 B/op   0 allocs/op
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	results, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("parsed %d results, want 3", len(results))
+	}
+	// Sorted by name, GOMAXPROCS suffix stripped.
+	if results[0].Name != "BenchmarkEPCLookup" || results[1].Name != "BenchmarkEPCPresent" ||
+		results[2].Name != "BenchmarkHandleFault" {
+		t.Fatalf("names = %q, %q, %q", results[0].Name, results[1].Name, results[2].Name)
+	}
+	if results[0].NsPerOp != 28.77 || results[0].Iterations != 41293782 {
+		t.Fatalf("EPCLookup = %+v", results[0])
+	}
+	if results[0].AllocsPerOp == nil || *results[0].AllocsPerOp != 0 {
+		t.Fatalf("EPCLookup allocs = %v, want 0", results[0].AllocsPerOp)
+	}
+	if results[1].BytesPerOp != nil || results[1].AllocsPerOp != nil {
+		t.Fatal("EPCPresent without -benchmem should have null memory fields")
+	}
+	if results[2].NsPerOp != 507.5 {
+		t.Fatalf("HandleFault ns/op = %v", results[2].NsPerOp)
+	}
+}
+
+func TestParseIgnoresNonBenchLines(t *testing.T) {
+	results, err := parse(strings.NewReader("PASS\nok pkg 1s\n--- random noise ---\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 0 {
+		t.Fatalf("parsed %d results from noise", len(results))
+	}
+}
+
+func TestRunCarriesBaselineForward(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "bench.json")
+
+	// First run: no baseline file exists yet; that must not be an error.
+	if err := run(strings.NewReader(sample), out, filepath.Join(dir, "missing.json")); err != nil {
+		t.Fatal(err)
+	}
+	first, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(first), `"baseline"`) {
+		t.Fatal("first run emitted a baseline section from a missing file")
+	}
+
+	// Second run against updated numbers: prior results become baseline.
+	updated := strings.ReplaceAll(sample, "28.77", "14.02")
+	if err := run(strings.NewReader(updated), out, out); err != nil {
+		t.Fatal(err)
+	}
+	second, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(second)
+	if !strings.Contains(s, `"baseline"`) {
+		t.Fatal("second run lost the baseline section")
+	}
+	if !strings.Contains(s, "14.02") || !strings.Contains(s, "28.77") {
+		t.Fatalf("output missing current or baseline ns/op:\n%s", s)
+	}
+}
+
+func TestRunRejectsEmptyInput(t *testing.T) {
+	if err := run(strings.NewReader("no benchmarks here\n"), "-", ""); err == nil {
+		t.Fatal("run accepted input with no benchmark lines")
+	}
+}

@@ -14,6 +14,12 @@
 // The channel is a pure time-keeper: it tracks the in-progress load and the
 // pending preload batch, and leaves all policy (eviction, priorities,
 // counters) to the kernel package that drives it.
+//
+// The pending queue sits on the fault-servicing hot path (every Sync pops
+// it, every prediction probes it), so it is a ring-buffer deque with a
+// page-membership count index: PopPending, PeekPending, and
+// PendingContains are O(1), and the mutating scans (batch aborts, SIP
+// removals, overflow drops) run only when the index says a match exists.
 package channel
 
 import (
@@ -50,7 +56,8 @@ type Request struct {
 // has its own preload queue, but transfers serialize on the same
 // hardware).
 type server struct {
-	inflight  *Load
+	inflight  Load // valid only while busy
+	busy      bool
 	busyUntil uint64
 	started   uint64 // total transfers begun
 }
@@ -58,8 +65,16 @@ type server struct {
 // Channel is the single-server load queue. Construct with New (private
 // server) or NewGroup (shared server).
 type Channel struct {
-	srv         *server
-	pending     []Request
+	srv *server
+
+	// The pending preload deque: a power-of-two ring buffer holding the
+	// queued-but-unstarted requests in FIFO order, plus an occurrence
+	// count per queued page (a page can sit in several batches).
+	buf  []Request
+	head int
+	n    int
+	idx  map[mem.PageID]int32
+
 	aborted     uint64 // queued preloads dropped before starting
 	lastBatchID uint64
 	hook        obs.Hook // nil = observability disabled
@@ -70,8 +85,12 @@ type Channel struct {
 // are emitted by the channel whose method started them.
 func (c *Channel) SetHook(h obs.Hook) { c.hook = h }
 
+func newChannel(srv *server) *Channel {
+	return &Channel{srv: srv, idx: make(map[mem.PageID]int32)}
+}
+
 // New returns an idle channel with its own server.
-func New() *Channel { return &Channel{srv: &server{}} }
+func New() *Channel { return newChannel(&server{}) }
 
 // NewGroup returns n channels sharing one load server: queued work is
 // per-channel, but only one transfer can be in progress across the group.
@@ -79,7 +98,7 @@ func NewGroup(n int) []*Channel {
 	srv := &server{}
 	out := make([]*Channel, n)
 	for i := range out {
-		out[i] = &Channel{srv: srv}
+		out[i] = newChannel(srv)
 	}
 	return out
 }
@@ -90,35 +109,36 @@ func (c *Channel) BusyUntil() uint64 { return c.srv.busyUntil }
 
 // Inflight returns the in-progress load, if any.
 func (c *Channel) Inflight() (Load, bool) {
-	if c.srv.inflight == nil {
+	if !c.srv.busy {
 		return Load{}, false
 	}
-	return *c.srv.inflight, true
+	return c.srv.inflight, true
 }
 
 // InflightPage returns the page of the in-progress load, or mem.NoPage.
 func (c *Channel) InflightPage() mem.PageID {
-	if c.srv.inflight == nil {
+	if !c.srv.busy {
 		return mem.NoPage
 	}
 	return c.srv.inflight.Page
 }
 
 // Idle reports whether no load is in progress.
-func (c *Channel) Idle() bool { return c.srv.inflight == nil }
+func (c *Channel) Idle() bool { return !c.srv.busy }
 
 // Begin starts a transfer of page at cycle start, occupying the channel
 // for occupancy cycles. The caller must have completed any in-progress
 // load first (start must be >= BusyUntil) — the non-preemptibility rule.
 func (c *Channel) Begin(page mem.PageID, start, occupancy uint64, preload bool, batch uint64) Load {
-	if c.srv.inflight != nil {
+	if c.srv.busy {
 		panic("channel: Begin while a load is in progress")
 	}
 	if start < c.srv.busyUntil {
 		panic("channel: Begin before the channel is free (time went backwards)")
 	}
 	ld := Load{Page: page, Start: start, Done: start + occupancy, Preload: preload, Batch: batch}
-	c.srv.inflight = &ld
+	c.srv.inflight = ld
+	c.srv.busy = true
 	c.srv.busyUntil = ld.Done
 	c.srv.started++
 	if c.hook != nil {
@@ -131,16 +151,82 @@ func (c *Channel) Begin(page mem.PageID, start, occupancy uint64, preload bool, 
 // CompleteInflight retires the in-progress load and returns it. It panics
 // if the channel is idle; callers check Inflight first.
 func (c *Channel) CompleteInflight() Load {
-	if c.srv.inflight == nil {
+	if !c.srv.busy {
 		panic("channel: CompleteInflight on idle channel")
 	}
-	ld := *c.srv.inflight
-	c.srv.inflight = nil
+	ld := c.srv.inflight
+	c.srv.busy = false
 	if c.hook != nil {
 		c.hook.Emit(obs.Event{T: ld.Done, Kind: obs.KindLoadComplete,
 			Page: ld.Page, Batch: ld.Batch, V2: boolV(ld.Preload)})
 	}
 	return ld
+}
+
+// at returns the request at logical position i (0 = front). Valid only
+// for 0 <= i < c.n.
+func (c *Channel) at(i int) *Request {
+	return &c.buf[(c.head+i)&(len(c.buf)-1)]
+}
+
+// grow doubles the ring capacity, re-linearizing the queue at head 0.
+func (c *Channel) grow() {
+	capacity := 2 * len(c.buf)
+	if capacity == 0 {
+		capacity = 16
+	}
+	buf := make([]Request, capacity)
+	for i := 0; i < c.n; i++ {
+		buf[i] = *c.at(i)
+	}
+	c.buf, c.head = buf, 0
+}
+
+// pushBack appends a request and indexes its page.
+func (c *Channel) pushBack(r Request) {
+	if c.n == len(c.buf) {
+		c.grow()
+	}
+	c.buf[(c.head+c.n)&(len(c.buf)-1)] = r
+	c.n++
+	c.idx[r.Page]++
+}
+
+// popFront removes and returns the front request, unindexing its page.
+func (c *Channel) popFront() Request {
+	r := c.buf[c.head]
+	c.head = (c.head + 1) & (len(c.buf) - 1)
+	c.n--
+	c.unindex(r.Page)
+	return r
+}
+
+// unindex decrements a page's occurrence count, deleting exhausted
+// entries so the index never outgrows the queue.
+func (c *Channel) unindex(p mem.PageID) {
+	if n := c.idx[p] - 1; n == 0 {
+		delete(c.idx, p)
+	} else {
+		c.idx[p] = n
+	}
+}
+
+// removeWhere compacts the deque in place, dropping every request for
+// which drop returns true and reporting each drop (in queue order) to
+// onDrop before the next is considered. Order of survivors is preserved.
+func (c *Channel) removeWhere(drop func(Request) bool, onDrop func(Request)) {
+	kept := 0
+	for i := 0; i < c.n; i++ {
+		r := *c.at(i)
+		if drop(r) {
+			c.unindex(r.Page)
+			onDrop(r)
+			continue
+		}
+		*c.at(kept) = r
+		kept++
+	}
+	c.n = kept
 }
 
 // QueueBatch appends a new predicted batch, eligible to start at cycle
@@ -157,33 +243,33 @@ func (c *Channel) QueueBatch(pages []mem.PageID, enqueued uint64, maxPending int
 	c.lastBatchID++
 	id := c.lastBatchID
 	for _, p := range pages {
-		c.pending = append(c.pending, Request{Page: p, Batch: id, Enqueued: enqueued})
+		c.pushBack(Request{Page: p, Batch: id, Enqueued: enqueued})
 		if c.hook != nil {
 			c.hook.Emit(obs.Event{T: enqueued, Kind: obs.KindPreloadQueue, Page: p, Batch: id})
 		}
 	}
-	if maxPending <= 0 || len(c.pending) <= maxPending {
+	if maxPending <= 0 || c.n <= maxPending {
 		return 0
 	}
-	cut := 0
-	for len(c.pending)-cut > maxPending && c.pending[cut].Batch != id {
-		stale := c.pending[cut].Batch
-		for cut < len(c.pending) && c.pending[cut].Batch == stale {
-			c.dropEvent(c.pending[cut], enqueued, obs.AbortOverflow)
-			cut++
+	for c.n > maxPending && c.buf[c.head].Batch != id {
+		stale := c.buf[c.head].Batch
+		for c.n > 0 && c.buf[c.head].Batch == stale {
+			c.dropEvent(c.popFront(), enqueued, obs.AbortOverflow)
+			dropped++
 		}
 	}
-	dropped = cut
-	copy(c.pending, c.pending[cut:])
-	c.pending = c.pending[:len(c.pending)-cut]
-	if len(c.pending) > maxPending {
+	if c.n > maxPending {
 		// Only the new batch remains and it is larger than the cap:
 		// keep its head (the pages nearest the fault).
-		for _, r := range c.pending[maxPending:] {
-			c.dropEvent(r, enqueued, obs.AbortOverflow)
+		excess := c.n - maxPending
+		for i := maxPending; i < c.n; i++ {
+			c.dropEvent(*c.at(i), enqueued, obs.AbortOverflow)
 		}
-		dropped += len(c.pending) - maxPending
-		c.pending = c.pending[:maxPending]
+		for j := 0; j < excess; j++ {
+			c.n--
+			c.unindex(c.buf[(c.head+c.n)&(len(c.buf)-1)].Page)
+		}
+		dropped += excess
 	}
 	c.aborted += uint64(dropped)
 	return dropped
@@ -211,26 +297,22 @@ func boolV(b bool) uint64 {
 // that prediction. now is the cycle of the triggering fault (it stamps
 // the abort events). It reports whether any batch matched.
 func (c *Channel) AbortBatchContaining(page mem.PageID, now uint64) bool {
+	if c.idx[page] == 0 {
+		return false
+	}
 	batch := uint64(0)
-	for _, r := range c.pending {
-		if r.Page == page {
-			batch = r.Batch
+	for i := 0; i < c.n; i++ {
+		if c.at(i).Page == page {
+			batch = c.at(i).Batch
 			break
 		}
 	}
-	if batch == 0 {
-		return false
-	}
-	kept := c.pending[:0]
-	for _, r := range c.pending {
-		if r.Batch == batch {
+	c.removeWhere(
+		func(r Request) bool { return r.Batch == batch },
+		func(r Request) {
 			c.aborted++
 			c.dropEvent(r, now, obs.AbortInWindow)
-			continue
-		}
-		kept = append(kept, r)
-	}
-	c.pending = kept
+		})
 	return true
 }
 
@@ -238,60 +320,74 @@ func (c *Channel) AbortBatchContaining(page mem.PageID, now uint64) bool {
 // path demand-loads it instead) at cycle now. It reports whether a
 // request was removed.
 func (c *Channel) RemovePending(page mem.PageID, now uint64) bool {
-	for i, r := range c.pending {
-		if r.Page == page {
-			c.dropEvent(r, now, obs.AbortSIP)
-			copy(c.pending[i:], c.pending[i+1:])
-			c.pending = c.pending[:len(c.pending)-1]
-			return true
+	if c.idx[page] == 0 {
+		return false
+	}
+	for i := 0; i < c.n; i++ {
+		if c.at(i).Page != page {
+			continue
 		}
+		c.dropEvent(*c.at(i), now, obs.AbortSIP)
+		c.unindex(page)
+		for j := i; j < c.n-1; j++ {
+			*c.at(j) = *c.at(j + 1)
+		}
+		c.n--
+		return true
 	}
 	return false
 }
 
 // PushAll replaces the pending queue with reqs, preserving order. The
-// kernel uses it to restore a popped-but-not-startable head.
+// kernel historically used it to restore a popped-but-not-startable head
+// (PeekPending has made that unnecessary); it remains for tooling and
+// tests that snapshot and restore the queue.
 func (c *Channel) PushAll(reqs []Request) {
-	c.pending = append(c.pending[:0], reqs...)
+	c.n, c.head = 0, 0
+	clear(c.idx)
+	for _, r := range reqs {
+		c.pushBack(r)
+	}
 }
 
 // AbortPending drops every queued preload at cycle now and returns how
 // many were dropped; used when preloading is shut down mid-run.
 func (c *Channel) AbortPending(now uint64) int {
-	n := len(c.pending)
-	for _, r := range c.pending {
-		c.dropEvent(r, now, obs.AbortStop)
+	n := c.n
+	for i := 0; i < c.n; i++ {
+		c.dropEvent(*c.at(i), now, obs.AbortStop)
 	}
+	clear(c.idx)
 	c.aborted += uint64(n)
-	c.pending = c.pending[:0]
+	c.n, c.head = 0, 0
 	return n
 }
 
 // PendingContains reports whether page is in the queued (unstarted) batch.
 func (c *Channel) PendingContains(page mem.PageID) bool {
-	for _, r := range c.pending {
-		if r.Page == page {
-			return true
-		}
-	}
-	return false
+	return c.idx[page] > 0
 }
 
 // PendingLen returns the number of queued preloads.
-func (c *Channel) PendingLen() int { return len(c.pending) }
+func (c *Channel) PendingLen() int { return c.n }
 
 // PopPending removes and returns the next queued preload. The boolean is
 // false when the queue is empty.
 func (c *Channel) PopPending() (Request, bool) {
-	if len(c.pending) == 0 {
+	if c.n == 0 {
 		return Request{}, false
 	}
-	r := c.pending[0]
-	// Shift rather than re-slice so the backing array is reused and the
-	// queue cannot retain an unbounded tail.
-	copy(c.pending, c.pending[1:])
-	c.pending = c.pending[:len(c.pending)-1]
-	return r, true
+	return c.popFront(), true
+}
+
+// PeekPending returns the next queued preload without removing it. The
+// kernel's Sync uses it to test whether the head is startable before
+// committing to a pop.
+func (c *Channel) PeekPending() (Request, bool) {
+	if c.n == 0 {
+		return Request{}, false
+	}
+	return c.buf[c.head], true
 }
 
 // Started returns the total number of transfers begun on the (possibly

@@ -242,6 +242,71 @@ func TestPushAllRestoresOrder(t *testing.T) {
 	}
 }
 
+func TestPeekPending(t *testing.T) {
+	c := New()
+	if _, ok := c.PeekPending(); ok {
+		t.Fatal("PeekPending on empty queue = ok")
+	}
+	c.QueueBatch([]mem.PageID{4, 5}, 7, 32)
+	r, ok := c.PeekPending()
+	if !ok || r.Page != 4 || r.Enqueued != 7 {
+		t.Fatalf("PeekPending = (%v, %v), want head page 4", r, ok)
+	}
+	if c.PendingLen() != 2 {
+		t.Fatalf("PeekPending consumed the queue: len %d", c.PendingLen())
+	}
+	p, _ := c.PopPending()
+	if p != r {
+		t.Fatalf("PopPending = %v after PeekPending = %v", p, r)
+	}
+}
+
+// TestRingWrapAround cycles many more requests than the ring's capacity
+// through interleaved queue/peek/pop so the head index wraps repeatedly,
+// and checks strict FIFO order and membership at every step.
+func TestRingWrapAround(t *testing.T) {
+	c := New()
+	var nextIn, nextOut mem.PageID
+	queue := func(k int) {
+		pages := make([]mem.PageID, k)
+		for i := range pages {
+			pages[i] = nextIn
+			nextIn++
+		}
+		c.QueueBatch(pages, 0, 0) // no cap: nothing may be dropped
+	}
+	pop := func() {
+		head, ok := c.PeekPending()
+		if !ok || head.Page != nextOut {
+			t.Fatalf("PeekPending = (%v, %v), want page %d", head, ok, nextOut)
+		}
+		r, ok := c.PopPending()
+		if !ok || r.Page != nextOut {
+			t.Fatalf("PopPending = (%v, %v), want page %d", r, ok, nextOut)
+		}
+		nextOut++
+	}
+	queue(3)
+	for round := 0; round < 200; round++ {
+		queue(1 + round%5)
+		if !c.PendingContains(nextOut) || c.PendingContains(nextIn) {
+			t.Fatalf("round %d: membership wrong at queue depth %d", round, c.PendingLen())
+		}
+		for c.PendingLen() > 3 {
+			pop()
+		}
+	}
+	for c.PendingLen() > 0 {
+		pop()
+	}
+	if nextOut != nextIn {
+		t.Fatalf("drained %d pages, queued %d", nextOut, nextIn)
+	}
+	if c.Aborted() != 0 {
+		t.Fatalf("Aborted = %d on an uncapped queue", c.Aborted())
+	}
+}
+
 func TestBusyUntilMonotone(t *testing.T) {
 	c := New()
 	var last uint64

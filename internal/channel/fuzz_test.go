@@ -8,12 +8,14 @@ import (
 )
 
 // FuzzPendingQueue drives the pending-preload queue with an arbitrary
-// interleaving of QueueBatch, pop-and-start, AbortBatchContaining,
-// RemovePending, AbortPending, and the kernel's PushAll restore pattern
-// under MaxPending pressure, and checks the conservation law every
-// request obeys: each queued request is eventually started, removed (the
-// SIP notify path), or aborted with an accounted count — never
-// duplicated, never lost.
+// interleaving of QueueBatch, pop-and-start, peek-then-start,
+// AbortBatchContaining, RemovePending, AbortPending, and the PushAll
+// restore pattern under MaxPending pressure, and checks the conservation
+// law every request obeys: each queued request is eventually started,
+// removed (the SIP notify path), or aborted with an accounted count —
+// never duplicated, never lost. After every operation the page-membership
+// index is cross-checked against a walk of the ring-buffer deque, so the
+// two structures can never drift apart unnoticed.
 //
 // A recorder hook runs throughout, so the fuzzer also exercises the
 // observability paths, and the event stream is cross-checked against the
@@ -22,8 +24,8 @@ import (
 //
 // The seed corpus covers the interesting collisions directly (overflow
 // drops racing pops, aborting a batch that was partially popped, a
-// restore straight after an overflow); the fuzzer explores interleavings
-// around them.
+// restore straight after an overflow, queue/peek/pop churn that wraps the
+// ring past its capacity); the fuzzer explores interleavings around them.
 func FuzzPendingQueue(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{0, 3, 1, 2, 3, 4, 5}) // one batch, then pops
@@ -33,6 +35,13 @@ func FuzzPendingQueue(f *testing.F) {
 	f.Add([]byte{0, 4, 1, 2, 3, 4, 1, 2, 2, 0, 3, 9, 8, 7, 3, 8, 4, 1, 1, 1})
 	// Overflow, restore the queue, then shut preloading down.
 	f.Add([]byte{0, 7, 1, 2, 3, 4, 5, 6, 7, 0, 5, 10, 11, 12, 13, 14, 5, 5, 4})
+	// Ring wrap-around: interleaved QueueBatch/PeekPending/PopPending
+	// churn cycling far more requests than the ring's initial capacity.
+	f.Add([]byte{
+		0, 7, 1, 2, 3, 4, 5, 6, 7, 6, 1, 0, 7, 10, 11, 12, 13, 14, 15, 16,
+		6, 6, 1, 1, 0, 5, 20, 21, 22, 23, 24, 6, 1, 6, 1, 6, 1,
+		0, 4, 30, 31, 32, 33, 6, 1, 1, 1, 0, 3, 40, 41, 42, 6, 6, 1, 1, 1,
+	})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		c := New()
 		rec := obs.NewRecorder()
@@ -48,10 +57,27 @@ func FuzzPendingQueue(f *testing.F) {
 			*i++
 			return b
 		}
+		// The index and the deque must agree exactly: same pages, same
+		// occurrence counts (a page can sit in several batches).
+		checkIndex := func() {
+			t.Helper()
+			counts := make(map[mem.PageID]int32, c.n)
+			for i := 0; i < c.n; i++ {
+				counts[c.at(i).Page]++
+			}
+			if len(counts) != len(c.idx) {
+				t.Fatalf("index holds %d pages, deque holds %d distinct", len(c.idx), len(counts))
+			}
+			for p, want := range counts {
+				if got := c.idx[p]; got != want {
+					t.Fatalf("index count for page %d = %d, deque has %d", p, got, want)
+				}
+			}
+		}
 		for i := 0; i < len(data); {
 			now++
 			prevAborted := c.Aborted()
-			switch next(&i) % 6 {
+			switch next(&i) % 7 {
 			case 0: // queue a batch of 1..8 pages
 				k := int(next(&i)%8) + 1
 				pages := make([]mem.PageID, k)
@@ -148,7 +174,31 @@ func FuzzPendingQueue(f *testing.F) {
 					t.Fatalf("PushAll restore changed the head: %v, want %v", r, head)
 				}
 				c.PushAll(reqs)
+			case 6: // peek, then start the head as the kernel's Sync would
+				before := c.PendingLen()
+				r, ok := c.PeekPending()
+				if ok != (before > 0) {
+					t.Fatalf("PeekPending = %v with %d pending", ok, before)
+				}
+				if !ok {
+					break
+				}
+				if c.PendingLen() != before {
+					t.Fatal("PeekPending mutated the queue")
+				}
+				popped, popOK := c.PopPending()
+				if !popOK || popped != r {
+					t.Fatalf("PopPending = (%v, %v) after PeekPending = %v", popped, popOK, r)
+				}
+				start := c.BusyUntil()
+				if r.Enqueued > start {
+					start = r.Enqueued
+				}
+				c.Begin(r.Page, start, 100, true, r.Batch)
+				c.CompleteInflight()
+				started++
 			}
+			checkIndex()
 			if c.Aborted() < prevAborted {
 				t.Fatalf("Aborted went backwards: %d -> %d", prevAborted, c.Aborted())
 			}

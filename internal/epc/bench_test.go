@@ -1,0 +1,77 @@
+package epc
+
+import (
+	"testing"
+
+	"sgxpreload/internal/mem"
+)
+
+// BenchmarkEPCLookup measures the page-table operations on the fault hot
+// path — Present, Touch, and the Evict+Load pair on a miss — over a full
+// EPC under a pseudo-random page stream. Before the array-backed page
+// table these were map lookups; they are now direct array indexing.
+func BenchmarkEPCLookup(b *testing.B) {
+	const (
+		capacity = 4096
+		pages    = 1 << 16
+	)
+	e, err := New(capacity, pages)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for p := mem.PageID(0); p < capacity; p++ {
+		if err := e.Load(p, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+	rnd := uint64(0x2545f4914f6cdd1d)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rnd ^= rnd << 13
+		rnd ^= rnd >> 7
+		rnd ^= rnd << 17
+		p := mem.PageID(rnd % pages)
+		if e.Present(p) {
+			e.Touch(p)
+			continue
+		}
+		if e.Full() {
+			if v := e.SelectVictim(); v != mem.NoPage {
+				e.Evict(v)
+			}
+		}
+		if err := e.Load(p, i%2 == 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEPCPresent isolates the residency probe, the single most
+// frequent EPC operation (every access and every predict filter hits it).
+func BenchmarkEPCPresent(b *testing.B) {
+	const (
+		capacity = 4096
+		pages    = 1 << 16
+	)
+	e, err := New(capacity, pages)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for p := mem.PageID(0); p < capacity; p++ {
+		if err := e.Load(p, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// One resident page and one absent page per iteration.
+		if !e.Present(mem.PageID(i % capacity)) {
+			b.Fatal("resident page reported absent")
+		}
+		if e.Present(mem.PageID(capacity + i%capacity)) {
+			b.Fatal("absent page reported resident")
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package epc
+
+import (
+	"testing"
+
+	"sgxpreload/internal/mem"
+	"sgxpreload/internal/rng"
+)
+
+// forceSparse swaps a freshly built EPC onto the map-backed page table,
+// regardless of ELRANGE size. Only valid before any page is loaded.
+func forceSparse(t *testing.T, e *EPC) {
+	t.Helper()
+	if e.Resident() != 0 {
+		t.Fatal("forceSparse on a non-empty EPC")
+	}
+	e.pt = make(sparsePageTable, len(e.frames))
+}
+
+func TestNewSelectsPageTableImplementation(t *testing.T) {
+	small := mustNew(t, 4, 1024)
+	if _, ok := small.pt.(*densePageTable); !ok {
+		t.Fatalf("small ELRANGE uses %T, want *densePageTable", small.pt)
+	}
+	big, err := New(4, maxDensePages+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := big.pt.(sparsePageTable); !ok {
+		t.Fatalf("oversized ELRANGE uses %T, want sparsePageTable", big.pt)
+	}
+}
+
+// TestPageTableDifferential drives a dense-table EPC and a map-fallback
+// EPC through an identical random load/touch/evict/victim sequence under
+// every eviction policy and asserts they stay indistinguishable: same
+// victims, same presence answers, same bitmap, same invariants. This is
+// the parity oracle for the reverse-array optimization — any divergence
+// in the page table would surface as a differing victim or bitmap.
+func TestPageTableDifferential(t *testing.T) {
+	const (
+		capacity = 8
+		pages    = 128
+		steps    = 8000
+	)
+	for _, policy := range []Policy{PolicyClock, PolicyFIFO, PolicyLRU, PolicyRandom} {
+		t.Run(policy.String(), func(t *testing.T) {
+			mk := func() *EPC {
+				e, err := NewWithPolicy(capacity, pages, policy)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return e
+			}
+			dense, sparse := mk(), mk()
+			if _, ok := dense.pt.(*densePageTable); !ok {
+				t.Fatalf("control EPC uses %T, want *densePageTable", dense.pt)
+			}
+			forceSparse(t, sparse)
+
+			r := rng.New(1337)
+			for i := 0; i < steps; i++ {
+				p := mem.PageID(r.Intn(pages))
+				switch r.Intn(5) {
+				case 0: // load (evicting if full), preload flag varies
+					if dense.Present(p) != sparse.Present(p) {
+						t.Fatalf("step %d: Present(%d) diverges", i, p)
+					}
+					if dense.Present(p) {
+						continue
+					}
+					if dense.Full() {
+						dv, sv := dense.SelectVictim(), sparse.SelectVictim()
+						if dv != sv {
+							t.Fatalf("step %d: victims diverge: dense %d, sparse %d", i, dv, sv)
+						}
+						dense.Evict(dv)
+						sparse.Evict(sv)
+					}
+					pre := r.Intn(2) == 0
+					if err := dense.Load(p, pre); err != nil {
+						t.Fatalf("step %d: dense Load(%d): %v", i, p, err)
+					}
+					if err := sparse.Load(p, pre); err != nil {
+						t.Fatalf("step %d: sparse Load(%d): %v", i, p, err)
+					}
+				case 1:
+					if dense.Evict(p) != sparse.Evict(p) {
+						t.Fatalf("step %d: Evict(%d) diverges", i, p)
+					}
+				case 2:
+					if dense.Touch(p) != sparse.Touch(p) {
+						t.Fatalf("step %d: Touch(%d) diverges", i, p)
+					}
+				case 3:
+					if dv, sv := dense.SelectVictim(), sparse.SelectVictim(); dv != sv {
+						t.Fatalf("step %d: SelectVictim diverges: dense %d, sparse %d", i, dv, sv)
+					}
+				case 4:
+					if dense.Preloaded(p) != sparse.Preloaded(p) || dense.Accessed(p) != sparse.Accessed(p) {
+						t.Fatalf("step %d: frame bits diverge for page %d", i, p)
+					}
+				}
+				if dense.Resident() != sparse.Resident() {
+					t.Fatalf("step %d: Resident diverges: %d vs %d", i, dense.Resident(), sparse.Resident())
+				}
+			}
+			// Final state must agree bit for bit.
+			for p := uint64(0); p < pages; p++ {
+				if dense.PresenceBitmap().Get(p) != sparse.PresenceBitmap().Get(p) {
+					t.Fatalf("presence bitmap diverges at page %d", p)
+				}
+			}
+			if err := dense.CheckInvariants(); err != nil {
+				t.Fatalf("dense invariants: %v", err)
+			}
+			if err := sparse.CheckInvariants(); err != nil {
+				t.Fatalf("sparse invariants: %v", err)
+			}
+		})
+	}
+}
+
+// TestSparseFallbackUnderRandomOperations re-runs the structural
+// invariant soak on the map-backed table so the fallback keeps its own
+// coverage even though every default-sized EPC now takes the dense path.
+func TestSparseFallbackUnderRandomOperations(t *testing.T) {
+	const (
+		capacity = 8
+		pages    = 64
+		steps    = 3000
+	)
+	e := mustNew(t, capacity, pages)
+	forceSparse(t, e)
+	r := rng.New(99)
+	for i := 0; i < steps; i++ {
+		p := mem.PageID(r.Intn(pages))
+		switch r.Intn(3) {
+		case 0:
+			if !e.Present(p) {
+				if e.Full() {
+					e.Evict(e.SelectVictim())
+				}
+				if err := e.Load(p, r.Intn(2) == 0); err != nil {
+					t.Fatalf("step %d: Load(%d): %v", i, p, err)
+				}
+			}
+		case 1:
+			e.Evict(p)
+		case 2:
+			e.Touch(p)
+		}
+		if err := e.CheckInvariants(); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+	}
+}

@@ -78,9 +78,12 @@ type frame struct {
 // model driven from one goroutine, matching the paper's single-threaded
 // benchmarks.
 type EPC struct {
-	frames  []frame
-	free    []FrameID // LIFO free list
-	mapping map[mem.PageID]FrameID
+	frames []frame
+	free   []FrameID // LIFO free list
+	// pt is the page→frame reverse mapping: a flat array indexed by
+	// PageID for ELRANGEs up to maxDensePages (the common case — every
+	// Present/Touch/Load/Evict is then array indexing), a map beyond.
+	pt      pageTable
 	present *Bitmap // shared presence bitmap (SIP's BIT_MAP_CHECK)
 	hand    int     // CLOCK hand over frames
 	pages   uint64  // ELRANGE size in pages (bitmap capacity)
@@ -110,7 +113,7 @@ func NewWithPolicy(capacity int, elrangePages uint64, policy Policy) (*EPC, erro
 	e := &EPC{
 		frames:  make([]frame, capacity),
 		free:    make([]FrameID, 0, capacity),
-		mapping: make(map[mem.PageID]FrameID, capacity),
+		pt:      newPageTable(elrangePages, capacity),
 		present: NewBitmap(elrangePages),
 		pages:   elrangePages,
 		policy:  policy,
@@ -130,17 +133,17 @@ func NewWithPolicy(capacity int, elrangePages uint64, policy Policy) (*EPC, erro
 func (e *EPC) Capacity() int { return len(e.frames) }
 
 // Resident returns the number of occupied frames.
-func (e *EPC) Resident() int { return len(e.mapping) }
+func (e *EPC) Resident() int { return e.pt.size() }
 
 // Full reports whether every frame is occupied.
-func (e *EPC) Full() bool { return len(e.mapping) == len(e.frames) }
+func (e *EPC) Full() bool { return e.pt.size() == len(e.frames) }
 
 // Pages returns the ELRANGE size in pages.
 func (e *EPC) Pages() uint64 { return e.pages }
 
 // Present reports whether page is resident in the EPC.
 func (e *EPC) Present(page mem.PageID) bool {
-	_, ok := e.mapping[page]
+	_, ok := e.pt.lookup(page)
 	return ok
 }
 
@@ -152,7 +155,7 @@ func (e *EPC) PresenceBitmap() *Bitmap { return e.present }
 // hardware setting the PTE accessed bit on every load/store. It reports
 // whether the page was resident.
 func (e *EPC) Touch(page mem.PageID) bool {
-	f, ok := e.mapping[page]
+	f, ok := e.pt.lookup(page)
 	if !ok {
 		return false
 	}
@@ -172,7 +175,7 @@ func (e *EPC) Load(page mem.PageID, preloaded bool) error {
 	if page >= mem.PageID(e.pages) {
 		return fmt.Errorf("epc: page %d outside ELRANGE of %d pages", page, e.pages)
 	}
-	if _, ok := e.mapping[page]; ok {
+	if _, ok := e.pt.lookup(page); ok {
 		return fmt.Errorf("epc: page %d already resident", page)
 	}
 	if len(e.free) == 0 {
@@ -188,7 +191,7 @@ func (e *EPC) Load(page mem.PageID, preloaded bool) error {
 		loadedAt:  e.seq,
 		touchedAt: e.seq,
 	}
-	e.mapping[page] = f
+	e.pt.set(page, f)
 	e.present.Set(uint64(page))
 	return nil
 }
@@ -196,13 +199,13 @@ func (e *EPC) Load(page mem.PageID, preloaded bool) error {
 // Evict removes page from the EPC (the EWB path). It reports whether the
 // page was resident.
 func (e *EPC) Evict(page mem.PageID) bool {
-	f, ok := e.mapping[page]
+	f, ok := e.pt.lookup(page)
 	if !ok {
 		return false
 	}
 	e.frames[f] = frame{page: mem.NoPage}
 	e.free = append(e.free, f)
-	delete(e.mapping, page)
+	e.pt.remove(page)
 	e.present.Clear(uint64(page))
 	return true
 }
@@ -216,7 +219,7 @@ func (e *EPC) Evict(page mem.PageID) bool {
 // the hand wraps once, clearing as it goes, and evicts the frame it
 // started from — guaranteeing termination.
 func (e *EPC) SelectVictim() mem.PageID {
-	if len(e.mapping) == 0 {
+	if e.pt.size() == 0 {
 		return mem.NoPage
 	}
 	switch e.policy {
@@ -276,13 +279,13 @@ func (e *EPC) victimRandom() mem.PageID {
 
 // Preloaded reports whether page is resident and arrived via preloading.
 func (e *EPC) Preloaded(page mem.PageID) bool {
-	f, ok := e.mapping[page]
+	f, ok := e.pt.lookup(page)
 	return ok && e.frames[f].preload
 }
 
 // Accessed reports whether page is resident with its access bit set.
 func (e *EPC) Accessed(page mem.PageID) bool {
-	f, ok := e.mapping[page]
+	f, ok := e.pt.lookup(page)
 	return ok && e.frames[f].accessed
 }
 
@@ -311,36 +314,49 @@ func (e *EPC) ScanPreloadBitsRange(lo, hi mem.PageID, clear bool, visit func(pag
 	}
 }
 
-// ResidentPages returns the resident page set; for tests and tooling.
+// ResidentPages returns the resident page set in frame order; for tests
+// and tooling.
 func (e *EPC) ResidentPages() []mem.PageID {
-	pages := make([]mem.PageID, 0, len(e.mapping))
-	for p := range e.mapping {
-		pages = append(pages, p)
+	pages := make([]mem.PageID, 0, e.pt.size())
+	for i := range e.frames {
+		if p := e.frames[i].page; p != mem.NoPage {
+			pages = append(pages, p)
+		}
 	}
 	return pages
 }
 
-// CheckInvariants verifies internal consistency: the mapping, frame table,
-// free list, and presence bitmap must agree. Tests call it after random
-// operation sequences.
+// CheckInvariants verifies internal consistency: the page table, frame
+// table, free list, and presence bitmap must agree. Tests call it after
+// random operation sequences.
 func (e *EPC) CheckInvariants() error {
-	if len(e.mapping)+len(e.free) != len(e.frames) {
-		return fmt.Errorf("epc: %d mapped + %d free != %d frames",
-			len(e.mapping), len(e.free), len(e.frames))
-	}
+	occupied := 0
 	seen := make(map[FrameID]bool, len(e.frames))
-	for p, f := range e.mapping {
-		if seen[f] {
-			return fmt.Errorf("epc: frame %d mapped twice", f)
+	for i := range e.frames {
+		p := e.frames[i].page
+		if p == mem.NoPage {
+			continue
 		}
-		seen[f] = true
-		if e.frames[f].page != p {
-			return fmt.Errorf("epc: mapping says frame %d holds page %d, frame says %d",
-				f, p, e.frames[f].page)
+		occupied++
+		seen[FrameID(i)] = true
+		f, ok := e.pt.lookup(p)
+		if !ok || f != FrameID(i) {
+			return fmt.Errorf("epc: frame %d holds page %d, page table says (%d, %v)",
+				i, p, f, ok)
 		}
 		if !e.present.Get(uint64(p)) {
 			return fmt.Errorf("epc: resident page %d absent from presence bitmap", p)
 		}
+	}
+	// Entry counts matching plus every occupied frame resolving back to
+	// itself rules out stale or duplicated page-table entries.
+	if e.pt.size() != occupied {
+		return fmt.Errorf("epc: page table holds %d entries, %d frames occupied",
+			e.pt.size(), occupied)
+	}
+	if occupied+len(e.free) != len(e.frames) {
+		return fmt.Errorf("epc: %d mapped + %d free != %d frames",
+			occupied, len(e.free), len(e.frames))
 	}
 	for _, f := range e.free {
 		if seen[f] {
@@ -351,8 +367,8 @@ func (e *EPC) CheckInvariants() error {
 			return fmt.Errorf("epc: free frame %d holds page %d", f, e.frames[f].page)
 		}
 	}
-	if got := e.present.Count(); got != uint64(len(e.mapping)) {
-		return fmt.Errorf("epc: presence bitmap count %d != %d resident", got, len(e.mapping))
+	if got := e.present.Count(); got != uint64(occupied) {
+		return fmt.Errorf("epc: presence bitmap count %d != %d resident", got, occupied)
 	}
 	return nil
 }

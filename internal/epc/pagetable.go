@@ -1,0 +1,84 @@
+package epc
+
+import "sgxpreload/internal/mem"
+
+// maxDensePages bounds the flat reverse-array page table: at 1<<22 pages
+// (a 16 GiB ELRANGE) the array costs 16 MiB, which is still cheap next to
+// the per-run simulation state. A pathologically sparse range beyond that
+// falls back to the map-backed table, preserving the old behavior.
+const maxDensePages = 1 << 22
+
+// pageTable is the resident page → physical frame reverse mapping. It sits
+// on the fault hot path (Present, Touch, Load, Evict all consult it), so
+// the dense implementation turns every operation into array indexing; the
+// sparse map implementation exists only for ELRANGEs too large to back
+// with an array. Callers guarantee set/remove pages are inside ELRANGE
+// (Load validates); lookup tolerates any page.
+type pageTable interface {
+	lookup(page mem.PageID) (FrameID, bool)
+	set(page mem.PageID, f FrameID)
+	remove(page mem.PageID)
+	size() int
+}
+
+// densePageTable is a flat page→frame array indexed by PageID, with the
+// noFrame sentinel marking absent pages.
+type densePageTable struct {
+	frames []FrameID
+	n      int
+}
+
+func newDensePageTable(pages uint64) *densePageTable {
+	t := &densePageTable{frames: make([]FrameID, pages)}
+	for i := range t.frames {
+		t.frames[i] = noFrame
+	}
+	return t
+}
+
+func (t *densePageTable) lookup(page mem.PageID) (FrameID, bool) {
+	if uint64(page) >= uint64(len(t.frames)) {
+		return noFrame, false
+	}
+	f := t.frames[page]
+	return f, f != noFrame
+}
+
+func (t *densePageTable) set(page mem.PageID, f FrameID) {
+	if t.frames[page] == noFrame {
+		t.n++
+	}
+	t.frames[page] = f
+}
+
+func (t *densePageTable) remove(page mem.PageID) {
+	if t.frames[page] != noFrame {
+		t.frames[page] = noFrame
+		t.n--
+	}
+}
+
+func (t *densePageTable) size() int { return t.n }
+
+// sparsePageTable is the map fallback for ELRANGEs past maxDensePages.
+type sparsePageTable map[mem.PageID]FrameID
+
+func (t sparsePageTable) lookup(page mem.PageID) (FrameID, bool) {
+	f, ok := t[page]
+	return f, ok
+}
+
+func (t sparsePageTable) set(page mem.PageID, f FrameID) { t[page] = f }
+
+func (t sparsePageTable) remove(page mem.PageID) { delete(t, page) }
+
+func (t sparsePageTable) size() int { return len(t) }
+
+// newPageTable selects the implementation for an ELRANGE of pages pages,
+// hinting the sparse map with the EPC capacity.
+func newPageTable(pages uint64, capacity int) pageTable {
+	if pages <= maxDensePages {
+		return newDensePageTable(pages)
+	}
+	return make(sparsePageTable, capacity)
+}

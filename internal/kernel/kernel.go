@@ -143,6 +143,7 @@ type Kernel struct {
 	stats Stats
 
 	nextScan uint64
+	scratch  []mem.PageID // reusable prediction batch (see predict)
 
 	hook obs.Hook // nil = observability disabled
 	now  uint64   // clock mirror for predictor-emitted events
@@ -251,16 +252,19 @@ func (k *Kernel) Sync(now uint64) {
 	}
 }
 
-// peekStartable pops queued preloads until it finds one that is still
-// worth loading and could start before now. Requests for pages that became
-// resident in the meantime are dropped.
+// peekStartable drops queued preloads whose pages became resident in the
+// meantime and returns the first one that is still worth loading and could
+// start before now. A head that is not yet startable is left in place —
+// PeekPending makes the no-work case O(1), where the old pop-and-restore
+// drained and rebuilt the whole queue on every non-startable Sync.
 func (k *Kernel) peekStartable(now uint64) (channel.Request, bool) {
 	for {
-		req, ok := k.ch.PopPending()
+		req, ok := k.ch.PeekPending()
 		if !ok {
 			return channel.Request{}, false
 		}
 		if k.epc.Present(req.Page) {
+			k.ch.PopPending()
 			k.stats.PreloadsDropped++
 			if k.hook != nil {
 				k.hook.Emit(obs.Event{T: max64(k.ch.BusyUntil(), req.Enqueued),
@@ -269,30 +273,12 @@ func (k *Kernel) peekStartable(now uint64) (channel.Request, bool) {
 			}
 			continue
 		}
-		start := max64(k.ch.BusyUntil(), req.Enqueued)
-		if start >= now {
-			// Not startable yet; put it back at the head by re-queuing the
-			// whole batch front. Channel has no push-front, so rebuild via
-			// requeue below.
-			k.requeueFront(req)
+		if start := max64(k.ch.BusyUntil(), req.Enqueued); start >= now {
 			return channel.Request{}, false
 		}
+		k.ch.PopPending()
 		return req, true
 	}
-}
-
-// requeueFront restores req as the head of the pending queue.
-func (k *Kernel) requeueFront(req channel.Request) {
-	rest := make([]channel.Request, 0, k.ch.PendingLen()+1)
-	rest = append(rest, req)
-	for {
-		r, ok := k.ch.PopPending()
-		if !ok {
-			break
-		}
-		rest = append(rest, r)
-	}
-	k.ch.PushAll(rest)
 }
 
 // beginLoad starts a transfer at start, performing the EWB eviction first
@@ -416,7 +402,9 @@ func (k *Kernel) predict(page mem.PageID, resume uint64) {
 	if len(predicted) == 0 {
 		return
 	}
-	batch := make([]mem.PageID, 0, len(predicted))
+	// QueueBatch copies the pages into Requests, so the scratch buffer can
+	// be reused fault after fault instead of allocating a fresh batch.
+	batch := k.scratch[:0]
 	for _, p := range predicted {
 		if p < k.cfg.RangeLo || p >= k.cfg.RangeHi {
 			// The stream ran past the enclave's mapped range; nothing to
@@ -428,6 +416,7 @@ func (k *Kernel) predict(page mem.PageID, resume uint64) {
 		}
 		batch = append(batch, p)
 	}
+	k.scratch = batch
 	if len(batch) == 0 {
 		return
 	}
@@ -483,7 +472,10 @@ func (k *Kernel) NotifyLoad(now uint64, page mem.PageID) uint64 {
 // not wait. This is the early-notification path of the eager-SIP ablation;
 // it reuses the preload queue, so demand faults still take priority.
 func (k *Kernel) QueuePrefetch(now uint64, page mem.PageID) {
-	if page >= mem.PageID(k.cfg.ELRangePages) {
+	if page < k.cfg.RangeLo || page >= k.cfg.RangeHi {
+		// Outside this enclave's slice of the (possibly shared) page
+		// space — same bound predict applies, so a shared-EPC run can
+		// never prefetch into another enclave's range.
 		return
 	}
 	if k.epc.Present(page) || k.ch.InflightPage() == page || k.ch.PendingContains(page) {

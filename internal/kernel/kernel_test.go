@@ -475,6 +475,36 @@ func TestStaleBacklogDropped(t *testing.T) {
 	}
 }
 
+// Regression: QueuePrefetch used to bound only by ELRangePages, so a
+// shared-EPC multi-enclave kernel could prefetch pages belonging to
+// another enclave's slice of the shared page space. It must apply the
+// same RangeLo/RangeHi bound predict does.
+func TestQueuePrefetchRespectsRangeSlice(t *testing.T) {
+	e, err := epc.New(8, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := NewShared(Config{
+		Costs: testCosts(), EPCPages: 8, ELRangePages: 200,
+		RangeLo: 50, RangeHi: 100,
+	}, e, channel.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.QueuePrefetch(0, 150) // inside ELRANGE but in another enclave's slice
+	k.QueuePrefetch(0, 10)  // below this enclave's slice
+	if n := k.Channel().PendingLen(); n != 0 {
+		t.Fatalf("prefetch outside [RangeLo, RangeHi) queued %d requests", n)
+	}
+	k.QueuePrefetch(0, 60) // inside the slice
+	if !k.Channel().PendingContains(60) {
+		t.Fatal("in-slice prefetch not queued")
+	}
+	if st := k.Stats(); st.PreloadsQueued != 1 {
+		t.Fatalf("PreloadsQueued = %d, want 1 (out-of-slice prefetches must not count)", st.PreloadsQueued)
+	}
+}
+
 func TestSyncDropsRequestsForResidentPages(t *testing.T) {
 	d := dfp.DefaultConfig()
 	k := newKernel(t, 64, &d)
