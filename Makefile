@@ -2,7 +2,8 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-micro bench-json bench-smoke verify verify-obs
+.PHONY: build test race bench bench-micro bench-json bench-smoke verify verify-obs \
+	replay-smoke check-docs
 
 # The fault-servicing hot-path microbenchmarks (channel deque, EPC page
 # table, end-to-end HandleFault).
@@ -47,8 +48,31 @@ verify-obs:
 	$(GO) test -race ./internal/obs/ ./internal/channel/ ./internal/kernel/ ./internal/dfp/ ./internal/sim/
 	SGXSIM_HOOKGUARD=1 $(GO) test ./internal/sim/ -run TestHookOverheadGuard -v
 
+# CLI-level replay acceptance: trace a run, replay the trace, and
+# require the two metrics reports to be byte-identical.
+replay-smoke:
+	rm -rf .replay-smoke && mkdir -p .replay-smoke
+	$(GO) run ./cmd/sgxsim -bench cactuBSSN -scheme dfp-stop \
+		-trace .replay-smoke/run.jsonl -metrics-out .replay-smoke/live.txt
+	$(GO) run ./cmd/sgxsim -replay .replay-smoke/run.jsonl \
+		-metrics-out .replay-smoke/replayed.txt
+	cmp .replay-smoke/live.txt .replay-smoke/replayed.txt
+	$(GO) run ./cmd/sgxsim -diff .replay-smoke/run.jsonl .replay-smoke/run.jsonl \
+		| grep -q 'timelines:           identical'
+	rm -rf .replay-smoke
+
+# Docs drift gate: every cmd/sgxsim flag must be mentioned in at least
+# one of README.md, OBSERVABILITY.md, or EXPERIMENTS.md.
+check-docs:
+	@missing=0; \
+	for f in $$(sed -n 's/.*fs\.\(String\|Bool\|Int\|Float64\)("\([a-z-]*\)".*/\2/p' cmd/sgxsim/main.go); do \
+		grep -q -e "-$$f" README.md OBSERVABILITY.md EXPERIMENTS.md || \
+			{ echo "flag -$$f undocumented in README.md/OBSERVABILITY.md/EXPERIMENTS.md"; missing=1; }; \
+	done; \
+	[ $$missing -eq 0 ] && echo "check-docs: all cmd/sgxsim flags documented"
+
 # The full pre-merge gate.
-verify: verify-obs
+verify: verify-obs check-docs
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test -race ./...

@@ -66,6 +66,7 @@ func all() []experiment {
 		{"ablation-reclaim", "sync vs background (ksgxswapd) EWB reclaim", wrap(experiments.ReclaimAblation)},
 		{"ablation-eager", "oracle early-notification headroom (Figure 4)", wrap(experiments.EagerSIP)},
 		{"trace", "event-timeline trace report (deepsjeng, DFP-stop)", wrap(experiments.Trace)},
+		{"replay", "trace replay round-trip proof + DFP vs DFP-stop diff", wrap(experiments.Replay)},
 	}
 }
 

@@ -1,5 +1,6 @@
 // Command sgxsim runs one benchmark under one preloading scheme and
-// prints the run's metrics.
+// prints the run's metrics. It can also replay and diff recorded traces
+// without re-simulating, and serve live metrics over HTTP during a run.
 //
 // Usage:
 //
@@ -7,13 +8,23 @@
 //	sgxsim -bench deepsjeng -scheme sip -threshold 0.05
 //	sgxsim -bench mixed-blood -scheme hybrid -epc 2048 -loadlength 4
 //	sgxsim -bench lbm -scheme dfp -compare -parallel 2
+//	sgxsim -bench deepsjeng -scheme dfp-stop -trace run.jsonl
+//	sgxsim -replay run.jsonl                    # re-derive metrics, no simulation
+//	sgxsim -diff a.jsonl b.jsonl                # first divergence + metric deltas
+//	sgxsim -bench lbm -scheme dfp -serve :8080  # live /metrics, /events, /report
 //	sgxsim -list
+//
+// See OBSERVABILITY.md for the trace schema and the replay/diff/serve
+// workflows.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"strings"
 
@@ -22,6 +33,7 @@ import (
 	"sgxpreload/internal/epc"
 	"sgxpreload/internal/experiments"
 	"sgxpreload/internal/obs"
+	"sgxpreload/internal/replay"
 	"sgxpreload/internal/sim"
 	"sgxpreload/internal/sip"
 	"sgxpreload/internal/stats"
@@ -52,10 +64,20 @@ func run(args []string, out io.Writer) error {
 		metricsOut = fs.String("metrics-out", "", "write derived metrics (text report; a .svg extension renders the timeline chart)")
 		parallel   = fs.Int("parallel", 0, "worker pool for -compare (0 = GOMAXPROCS; output is identical at any setting)")
 		progress   = fs.Bool("progress", false, "report each completed run on stderr")
+		replayPath = fs.String("replay", "", "replay a recorded trace (JSONL, or CSV for .csv) instead of simulating")
+		diffMode   = fs.Bool("diff", false, "diff two recorded traces given as positional args: -diff a.jsonl b.jsonl")
+		serveAddr  = fs.String("serve", "", "serve live metrics over HTTP (/metrics, /events, /report) on this address during the run")
+		jsonOut    = fs.Bool("json", false, "with -replay or -diff, emit JSON instead of text")
 		list       = fs.Bool("list", false, "list benchmarks and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *diffMode {
+		return runDiff(fs.Args(), *jsonOut, out)
+	}
+	if *replayPath != "" {
+		return runReplay(*replayPath, *metricsOut, *jsonOut, out)
 	}
 	if *list {
 		for _, name := range workload.Names() {
@@ -144,12 +166,25 @@ func run(args []string, out io.Writer) error {
 	}
 	// The recorder observes only the primary run (a baseline comparison
 	// run stays unhooked), and each run is single-goroutine, so the
-	// recorded timeline is byte-identical at any -parallel setting.
+	// recorded timeline is byte-identical at any -parallel setting. The
+	// live-metrics ring rides the same hook slot via Tee; it locks per
+	// event, so HTTP scrapers see consistent snapshots mid-run.
+	var hooks []obs.Hook
 	var rec *obs.Recorder
 	if *tracePath != "" || *metricsOut != "" {
 		rec = obs.NewRecorder()
-		configs[0].Hook = rec
+		hooks = append(hooks, rec)
 	}
+	if *serveAddr != "" {
+		ring := obs.NewRing(0)
+		hooks = append(hooks, ring)
+		stop, err := serveMetrics(*serveAddr, ring, out)
+		if err != nil {
+			return err
+		}
+		defer stop()
+	}
+	configs[0].Hook = obs.Tee(hooks...)
 	results, err := experiments.Sweep(*parallel, len(configs), func(i int) (sim.Result, error) {
 		r, err := sim.Run(trace, configs[i])
 		if *progress && err == nil {
@@ -226,10 +261,95 @@ func writeTrace(rec *obs.Recorder, path string) error {
 // writeMetrics exports the derived metrics: a text report, or the
 // timeline chart as SVG when path ends in .svg.
 func writeMetrics(rec *obs.Recorder, title, path string) error {
+	return writeEventMetrics(rec.Events(), title, path)
+}
+
+// writeEventMetrics is writeMetrics over a bare event slice (shared by
+// the live and replay paths, so both produce identical report bytes).
+func writeEventMetrics(events []obs.Event, title, path string) error {
 	if strings.HasSuffix(path, ".svg") {
-		chart := obs.Timeline(title, rec.Events(), 4000)
+		chart := obs.Timeline(title, events, 4000)
 		return os.WriteFile(path, []byte(chart.SVG()), 0o644)
 	}
-	report := obs.BuildReport(rec.Events())
+	report := obs.BuildReport(events)
 	return os.WriteFile(path, []byte(report.String()), 0o644)
+}
+
+// runReplay loads a recorded trace and re-derives the run's metrics
+// without simulating. The printed Report is byte-identical to what the
+// live run's -metrics-out wrote, because both are obs.BuildReport over
+// the same event timeline.
+func runReplay(path, metricsOut string, jsonOut bool, out io.Writer) error {
+	events, err := replay.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	report := obs.BuildReport(events)
+	if jsonOut {
+		b, err := json.Marshal(report)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, string(b))
+	} else {
+		fmt.Fprintf(out, "replayed:            %d events from %s\n", len(events), path)
+		fmt.Fprint(out, report.String())
+	}
+	if metricsOut != "" {
+		if err := writeEventMetrics(events, "replay of "+path, metricsOut); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "metrics:          %s\n", metricsOut)
+	}
+	return nil
+}
+
+// runDiff loads two recorded traces and reports the first divergent
+// event plus per-kind and per-metric deltas.
+func runDiff(paths []string, jsonOut bool, out io.Writer) error {
+	if len(paths) != 2 {
+		return fmt.Errorf("-diff needs exactly two trace paths, got %d", len(paths))
+	}
+	a, err := replay.ReadFile(paths[0])
+	if err != nil {
+		return err
+	}
+	b, err := replay.ReadFile(paths[1])
+	if err != nil {
+		return err
+	}
+	d := replay.Compare(a, b)
+	if jsonOut {
+		buf, err := json.Marshal(d)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, string(buf))
+		return nil
+	}
+	fmt.Fprintf(out, "diff:                a = %s, b = %s\n", paths[0], paths[1])
+	fmt.Fprint(out, d.String())
+	return nil
+}
+
+// serveMetrics starts the live-metrics HTTP server on addr, printing the
+// bound address (so :0 is usable), and returns a shutdown func. The
+// server runs for the duration of the simulation; scrape /metrics,
+// /events?since=N, or /report while the run is in flight.
+func serveMetrics(addr string, ring *obs.Ring, out io.Writer) (func(), error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(out, "serving metrics:  http://%s (/metrics /events /report)\n", ln.Addr())
+	srv := &http.Server{Handler: obs.NewHandler(ring)}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		srv.Serve(ln)
+	}()
+	return func() {
+		srv.Close()
+		<-done
+	}, nil
 }

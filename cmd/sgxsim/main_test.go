@@ -74,8 +74,11 @@ func TestTraceAndMetricsOutputs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.HasPrefix(string(jsonl), `{"t":`) {
-		t.Errorf("trace file does not look like JSONL: %.80s", jsonl)
+	if !strings.HasPrefix(string(jsonl), `{"schema":"sgxpreload-trace","version":1`) {
+		t.Errorf("trace file missing schema header: %.80s", jsonl)
+	}
+	if !strings.Contains(string(jsonl), "\n{\"t\":") {
+		t.Errorf("trace file does not look like JSONL: %.160s", jsonl)
 	}
 	report, err := os.ReadFile(reportPath)
 	if err != nil {
@@ -93,7 +96,7 @@ func TestTraceAndMetricsOutputs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.HasPrefix(string(csv), "t,kind,page,batch,v1,v2\n") {
+	if !strings.HasPrefix(string(csv), "# sgxpreload-trace version=1\nt,kind,page,batch,v1,v2\n") {
 		t.Errorf("CSV trace missing header: %.80s", csv)
 	}
 	svg, err := os.ReadFile(svgPath)
@@ -127,6 +130,133 @@ func TestTraceDeterministicAcrossParallelism(t *testing.T) {
 	eight := export("8")
 	if len(one) == 0 || string(one) != string(eight) {
 		t.Fatalf("trace differs across -parallel (%d vs %d bytes)", len(one), len(eight))
+	}
+}
+
+// TestReplayMatchesLiveReport is the acceptance path: -trace then
+// -replay must produce a Report byte-identical to the live run's
+// -metrics-out.
+func TestReplayMatchesLiveReport(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "run.jsonl")
+	livePath := filepath.Join(dir, "live.txt")
+	replayPath := filepath.Join(dir, "replay.txt")
+
+	var buf strings.Builder
+	if err := run([]string{"-bench", "cactuBSSN", "-scheme", "dfp-stop",
+		"-trace", tracePath, "-metrics-out", livePath}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var rbuf strings.Builder
+	if err := run([]string{"-replay", tracePath, "-metrics-out", replayPath}, &rbuf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rbuf.String(), "replayed:") {
+		t.Errorf("replay output missing summary:\n%s", rbuf.String())
+	}
+	live, err := os.ReadFile(livePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := os.ReadFile(replayPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(live) == 0 || string(live) != string(replayed) {
+		t.Fatalf("replayed report differs from live report:\n--- live\n%s--- replayed\n%s", live, replayed)
+	}
+	// Replay also prints the same report body to stdout.
+	if !strings.Contains(rbuf.String(), string(live)) {
+		t.Error("replay stdout does not contain the live report body")
+	}
+
+	// CSV traces replay through the same flag.
+	csvPath := filepath.Join(dir, "run.csv")
+	if err := run([]string{"-bench", "cactuBSSN", "-scheme", "dfp-stop", "-trace", csvPath}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var cbuf strings.Builder
+	if err := run([]string{"-replay", csvPath}, &cbuf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(cbuf.String(), string(live)) {
+		t.Error("CSV replay report differs from live report")
+	}
+
+	// -json mode emits parseable JSON.
+	var jbuf strings.Builder
+	if err := run([]string{"-replay", tracePath, "-json"}, &jbuf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(jbuf.String(), `{"counts":`) {
+		t.Errorf("replay -json output unexpected: %.120s", jbuf.String())
+	}
+}
+
+func TestDiffMode(t *testing.T) {
+	dir := t.TempDir()
+	aPath := filepath.Join(dir, "dfp.jsonl")
+	bPath := filepath.Join(dir, "dfp-stop.jsonl")
+	var buf strings.Builder
+	if err := run([]string{"-bench", "cactuBSSN", "-scheme", "dfp", "-trace", aPath}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-bench", "cactuBSSN", "-scheme", "baseline", "-trace", bPath}, &buf); err != nil {
+		t.Fatal(err)
+	}
+
+	var dbuf strings.Builder
+	if err := run([]string{"-diff", aPath, bPath}, &dbuf); err != nil {
+		t.Fatal(err)
+	}
+	out := dbuf.String()
+	for _, want := range []string{"diff:", "first divergence:", "event counts", "report metrics"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("diff output missing %q:\n%s", want, out)
+		}
+	}
+
+	// Self-diff is identical.
+	var sbuf strings.Builder
+	if err := run([]string{"-diff", aPath, aPath}, &sbuf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sbuf.String(), "identical") {
+		t.Errorf("self-diff not identical:\n%s", sbuf.String())
+	}
+
+	// JSON mode.
+	var jbuf strings.Builder
+	if err := run([]string{"-diff", "-json", aPath, bPath}, &jbuf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(jbuf.String(), `{"len_a":`) {
+		t.Errorf("diff -json output unexpected: %.120s", jbuf.String())
+	}
+
+	// Arity and parse errors.
+	if err := run([]string{"-diff", aPath}, &buf); err == nil {
+		t.Error("-diff with one path accepted")
+	}
+	if err := run([]string{"-replay", filepath.Join(dir, "missing.jsonl")}, &buf); err == nil {
+		t.Error("-replay of missing file accepted")
+	}
+}
+
+func TestServeFlag(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-bench", "cactuBSSN", "-scheme", "dfp", "-serve", "127.0.0.1:0"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "serving metrics:  http://127.0.0.1:") {
+		t.Errorf("missing serve address line:\n%s", out)
+	}
+	if !strings.Contains(out, "cycles:") {
+		t.Errorf("served run incomplete:\n%s", out)
+	}
+	if err := run([]string{"-bench", "cactuBSSN", "-serve", "256.0.0.1:bogus"}, &buf); err == nil {
+		t.Error("bogus -serve address accepted")
 	}
 }
 

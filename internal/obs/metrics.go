@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"encoding/json"
 	"fmt"
 	"strings"
 )
@@ -253,6 +254,32 @@ func BuildReport(events []Event) Report {
 		r.Utilization = float64(r.Busy) / float64(r.Span)
 	}
 	return r
+}
+
+// MarshalJSON renders the report with per-kind counts keyed by wire name
+// (zero kinds omitted) instead of the internal Kind-indexed array; the
+// other fields marshal as declared. Output is deterministic: map keys are
+// sorted by encoding/json.
+func (r Report) MarshalJSON() ([]byte, error) {
+	counts := make(map[string]uint64)
+	for _, k := range Kinds() {
+		if r.Counts[k] > 0 {
+			counts[k.String()] = r.Counts[k]
+		}
+	}
+	return json.Marshal(struct {
+		Counts             map[string]uint64 `json:"counts"`
+		Span               uint64            `json:"span"`
+		Busy               uint64            `json:"busy"`
+		Utilization        float64           `json:"utilization"`
+		UtilizationBuckets []Point           `json:"utilization_buckets,omitempty"`
+		Latency            Histogram         `json:"latency"`
+		Accuracy           []Point           `json:"accuracy,omitempty"`
+		Occupancy          []Point           `json:"occupancy,omitempty"`
+		Streams            StreamStats       `json:"streams"`
+		StopCycle          uint64            `json:"stop_cycle"`
+	}{counts, r.Span, r.Busy, r.Utilization, r.UtilizationBuckets,
+		r.Latency, r.Accuracy, r.Occupancy, r.Streams, r.StopCycle})
 }
 
 // String renders the report as a deterministic text block.

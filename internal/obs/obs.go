@@ -118,6 +118,24 @@ var kindNames = [...]string{
 	KindStreamEnd:    "stream_end",
 }
 
+// kindByName is the wire-name → Kind reverse index used by trace
+// parsers; built once from kindNames.
+var kindByName = func() map[string]Kind {
+	m := make(map[string]Kind, kindCount)
+	for k := KindFaultBegin; k < kindCount; k++ {
+		m[kindNames[k]] = k
+	}
+	return m
+}()
+
+// KindByName resolves a wire name (as written by the JSONL/CSV exports)
+// back to its Kind. The second result is false for unknown names and for
+// "none", which is never emitted.
+func KindByName(name string) (Kind, bool) {
+	k, ok := kindByName[name]
+	return k, ok
+}
+
 // Kinds returns every emitted kind in declaration order; reports iterate
 // it so their output is deterministic.
 func Kinds() []Kind {

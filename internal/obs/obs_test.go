@@ -34,7 +34,8 @@ func TestWriteJSONL(t *testing.T) {
 	if err := r.WriteJSONL(&b); err != nil {
 		t.Fatal(err)
 	}
-	want := `{"t":5,"kind":"load_start","page":7,"batch":2,"v1":105,"v2":1}
+	want := `{"schema":"sgxpreload-trace","version":1,"fields":["t","kind","page","batch","v1","v2"]}
+{"t":5,"kind":"load_start","page":7,"batch":2,"v1":105,"v2":1}
 {"t":9,"kind":"evict","page":-1,"batch":0,"v1":1,"v2":0}
 `
 	if b.String() != want {
@@ -49,7 +50,7 @@ func TestWriteCSV(t *testing.T) {
 	if err := r.WriteCSV(&b); err != nil {
 		t.Fatal(err)
 	}
-	want := "t,kind,page,batch,v1,v2\n5,preload_queue,7,2,0,0\n"
+	want := "# sgxpreload-trace version=1\nt,kind,page,batch,v1,v2\n5,preload_queue,7,2,0,0\n"
 	if b.String() != want {
 		t.Fatalf("CSV:\n%s\nwant:\n%s", b.String(), want)
 	}
@@ -118,5 +119,19 @@ func TestKindNames(t *testing.T) {
 	}
 	if len(Kinds()) != int(kindCount)-1 {
 		t.Errorf("Kinds() returned %d kinds, want %d", len(Kinds()), kindCount-1)
+	}
+}
+
+func TestKindByName(t *testing.T) {
+	for _, k := range Kinds() {
+		got, ok := KindByName(k.String())
+		if !ok || got != k {
+			t.Errorf("KindByName(%q) = %v, %v; want %v, true", k.String(), got, ok, k)
+		}
+	}
+	for _, bad := range []string{"", "none", "unknown", "fault"} {
+		if _, ok := KindByName(bad); ok {
+			t.Errorf("KindByName(%q) resolved, want miss", bad)
+		}
 	}
 }

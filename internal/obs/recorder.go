@@ -8,6 +8,31 @@ import (
 	"sgxpreload/internal/mem"
 )
 
+// Trace schema contract. Every exported timeline starts with a header
+// line naming the schema and version, so a reader can refuse traces it
+// does not understand instead of silently misparsing them after a field
+// change. internal/replay enforces both values when loading a trace.
+const (
+	// TraceSchema names the on-disk trace format.
+	TraceSchema = "sgxpreload-trace"
+	// TraceVersion is the current trace format version. Bump it on any
+	// change to the event line shape or field semantics.
+	TraceVersion = 1
+)
+
+// TraceHeaderJSONL returns the header line (without trailing newline)
+// that WriteJSONL emits before the first event.
+func TraceHeaderJSONL() string {
+	return fmt.Sprintf(`{"schema":%q,"version":%d,"fields":["t","kind","page","batch","v1","v2"]}`,
+		TraceSchema, TraceVersion)
+}
+
+// TraceHeaderCSV returns the comment line (without trailing newline)
+// that WriteCSV emits before the column header.
+func TraceHeaderCSV() string {
+	return fmt.Sprintf("# %s version=%d", TraceSchema, TraceVersion)
+}
+
 // Recorder is the standard Hook: it appends every event to an in-memory
 // timeline in emission order. The engine is single-goroutine per run, so
 // the Recorder needs no locking; one Recorder must observe one run.
@@ -46,34 +71,44 @@ func pageField(p mem.PageID) int64 {
 	return int64(p)
 }
 
-// WriteJSONL writes the timeline as JSON Lines, one event per line with
-// a fixed field order, so identical runs produce identical bytes:
+// WriteJSONL writes the timeline as JSON Lines: one schema header line,
+// then one event per line with a fixed field order, so identical runs
+// produce identical bytes:
 //
+//	{"schema":"sgxpreload-trace","version":1,"fields":["t","kind","page","batch","v1","v2"]}
 //	{"t":123,"kind":"fault_begin","page":42,"batch":0,"v1":0,"v2":0}
-func (r *Recorder) WriteJSONL(w io.Writer) error {
-	return writeEvents(w, r.events, func(bw *bufio.Writer, e Event) {
+func (r *Recorder) WriteJSONL(w io.Writer) error { return WriteJSONL(w, r.events) }
+
+// WriteCSV writes the timeline as CSV — a schema comment line, a column
+// header row, then one event per row in the same deterministic field
+// order as WriteJSONL.
+func (r *Recorder) WriteCSV(w io.Writer) error { return WriteCSV(w, r.events) }
+
+// WriteJSONL writes an event slice in the Recorder's JSONL trace format
+// (header line included). internal/replay uses it to re-serialize a
+// parsed timeline bit-for-bit.
+func WriteJSONL(w io.Writer, events []Event) error {
+	return writeEvents(w, events, TraceHeaderJSONL(), func(bw *bufio.Writer, e Event) {
 		fmt.Fprintf(bw, `{"t":%d,"kind":%q,"page":%d,"batch":%d,"v1":%d,"v2":%d}`+"\n",
 			e.T, e.Kind.String(), pageField(e.Page), e.Batch, e.V1, e.V2)
 	})
 }
 
-// WriteCSV writes the timeline as CSV with a header row, in the same
-// deterministic field order as WriteJSONL.
-func (r *Recorder) WriteCSV(w io.Writer) error {
-	bw := bufio.NewWriter(w)
-	fmt.Fprintln(bw, "t,kind,page,batch,v1,v2")
-	if err := bw.Flush(); err != nil {
-		return err
-	}
-	return writeEvents(w, r.events, func(bw *bufio.Writer, e Event) {
-		fmt.Fprintf(bw, "%d,%s,%d,%d,%d,%d\n",
-			e.T, e.Kind.String(), pageField(e.Page), e.Batch, e.V1, e.V2)
-	})
+// WriteCSV writes an event slice in the Recorder's CSV trace format
+// (schema comment and column header included).
+func WriteCSV(w io.Writer, events []Event) error {
+	return writeEvents(w, events, TraceHeaderCSV()+"\nt,kind,page,batch,v1,v2",
+		func(bw *bufio.Writer, e Event) {
+			fmt.Fprintf(bw, "%d,%s,%d,%d,%d,%d\n",
+				e.T, e.Kind.String(), pageField(e.Page), e.Batch, e.V1, e.V2)
+		})
 }
 
-// writeEvents streams the timeline through one buffered writer.
-func writeEvents(w io.Writer, events []Event, line func(*bufio.Writer, Event)) error {
+// writeEvents streams a preamble plus the timeline through one buffered
+// writer.
+func writeEvents(w io.Writer, events []Event, preamble string, line func(*bufio.Writer, Event)) error {
 	bw := bufio.NewWriterSize(w, 1<<16)
+	fmt.Fprintln(bw, preamble)
 	for _, e := range events {
 		line(bw, e)
 	}

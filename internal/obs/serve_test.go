@@ -1,0 +1,211 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"sgxpreload/internal/mem"
+)
+
+// getJSON fetches one endpoint and decodes the response body.
+func getJSON(t *testing.T, url string, into any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("GET %s: %s (%s)", url, resp.Status, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("GET %s: content type %q", url, ct)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+		t.Fatalf("GET %s: decode: %v", url, err)
+	}
+}
+
+func TestHandlerMetrics(t *testing.T) {
+	ring := NewRing(16)
+	ring.Emit(Event{T: 10, Kind: KindFaultBegin, Page: 1})
+	ring.Emit(Event{T: 64_010, Kind: KindFaultEnd, Page: 1, V1: 64_000})
+	srv := httptest.NewServer(NewHandler(ring))
+	defer srv.Close()
+
+	var m struct {
+		Schema      string            `json:"schema"`
+		Version     int               `json:"version"`
+		EventsTotal uint64            `json:"events_total"`
+		LastT       uint64            `json:"last_t"`
+		Counts      map[string]uint64 `json:"counts"`
+	}
+	getJSON(t, srv.URL+"/metrics", &m)
+	if m.Schema != TraceSchema || m.Version != TraceVersion {
+		t.Fatalf("schema %s v%d", m.Schema, m.Version)
+	}
+	if m.EventsTotal != 2 || m.LastT != 64_010 {
+		t.Fatalf("metrics = %+v", m)
+	}
+	if m.Counts["fault_begin"] != 1 || m.Counts["fault_end"] != 1 {
+		t.Fatalf("counts = %v", m.Counts)
+	}
+}
+
+func TestHandlerEvents(t *testing.T) {
+	ring := NewRing(16)
+	for i := 1; i <= 5; i++ {
+		ring.Emit(Event{T: uint64(i * 10), Kind: KindScan, V2: uint64(i)})
+	}
+	srv := httptest.NewServer(NewHandler(ring))
+	defer srv.Close()
+
+	var payload struct {
+		Since  uint64 `json:"since"`
+		First  uint64 `json:"first"`
+		Next   uint64 `json:"next"`
+		Events []struct {
+			Seq  uint64 `json:"seq"`
+			T    uint64 `json:"t"`
+			Kind string `json:"kind"`
+			Page int64  `json:"page"`
+		} `json:"events"`
+	}
+	getJSON(t, srv.URL+"/events", &payload)
+	if len(payload.Events) != 5 || payload.First != 1 || payload.Next != 5 {
+		t.Fatalf("full window = %+v", payload)
+	}
+	getJSON(t, srv.URL+"/events?since=3", &payload)
+	if len(payload.Events) != 2 || payload.Events[0].Seq != 4 || payload.Next != 5 {
+		t.Fatalf("since=3 = %+v", payload)
+	}
+	if payload.Events[0].Kind != "scan" || payload.Events[0].T != 40 {
+		t.Fatalf("event payload = %+v", payload.Events[0])
+	}
+	// Incremental poll from the returned cursor drains nothing new.
+	getJSON(t, srv.URL+fmt.Sprintf("/events?since=%d", payload.Next), &payload)
+	if len(payload.Events) != 0 {
+		t.Fatalf("poll at cursor returned %d events", len(payload.Events))
+	}
+	resp, err := http.Get(srv.URL + "/events?since=nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad since: status %d", resp.StatusCode)
+	}
+}
+
+func TestHandlerEventsNoPage(t *testing.T) {
+	ring := NewRing(4)
+	ring.Emit(Event{T: 9, Kind: KindEvict, Page: mem.NoPage, V1: 1})
+	srv := httptest.NewServer(NewHandler(ring))
+	defer srv.Close()
+	var payload struct {
+		Events []struct {
+			Page int64 `json:"page"`
+		} `json:"events"`
+	}
+	getJSON(t, srv.URL+"/events", &payload)
+	if len(payload.Events) != 1 || payload.Events[0].Page != -1 {
+		t.Fatalf("NoPage rendering = %+v", payload.Events)
+	}
+}
+
+func TestHandlerReport(t *testing.T) {
+	ring := NewRing(16)
+	ring.Emit(Event{T: 100, Kind: KindFaultBegin, Page: 7})
+	ring.Emit(Event{T: 64_100, Kind: KindFaultEnd, Page: 7, V1: 64_000})
+	srv := httptest.NewServer(NewHandler(ring))
+	defer srv.Close()
+
+	var payload struct {
+		EventsTotal    uint64 `json:"events_total"`
+		WindowComplete bool   `json:"window_complete"`
+		Report         struct {
+			Counts map[string]uint64 `json:"counts"`
+			Span   uint64            `json:"span"`
+		} `json:"report"`
+	}
+	getJSON(t, srv.URL+"/report", &payload)
+	if payload.EventsTotal != 2 || !payload.WindowComplete {
+		t.Fatalf("report envelope = %+v", payload)
+	}
+	if payload.Report.Span != 64_100 || payload.Report.Counts["fault_end"] != 1 {
+		t.Fatalf("report body = %+v", payload.Report)
+	}
+
+	// Overflow the window: the report must flag incompleteness.
+	small := NewRing(1)
+	small.Emit(Event{T: 1, Kind: KindScan})
+	small.Emit(Event{T: 2, Kind: KindScan})
+	srv2 := httptest.NewServer(NewHandler(small))
+	defer srv2.Close()
+	getJSON(t, srv2.URL+"/report", &payload)
+	if payload.WindowComplete {
+		t.Fatal("overflowed window reported complete")
+	}
+}
+
+// TestHandlerConcurrentScrape is the acceptance race test: all three
+// endpoints are scraped from several goroutines while an emitter floods
+// the ring. Run under -race (make race / verify-obs does); every
+// response must still be valid JSON.
+func TestHandlerConcurrentScrape(t *testing.T) {
+	ring := NewRing(128)
+	srv := httptest.NewServer(NewHandler(ring))
+	defer srv.Close()
+
+	stop := make(chan struct{})
+	var emitter sync.WaitGroup
+	emitter.Add(1)
+	go func() {
+		defer emitter.Done()
+		for i := uint64(1); ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			ring.Emit(Event{T: i, Kind: Kind(1 + i%uint64(kindCount-1)), Page: mem.PageID(i)})
+		}
+	}()
+
+	var scrapers sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		for _, path := range []string{"/metrics", "/events?since=0", "/report"} {
+			scrapers.Add(1)
+			go func(url string) {
+				defer scrapers.Done()
+				for i := 0; i < 25; i++ {
+					resp, err := http.Get(url)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					body, err := io.ReadAll(resp.Body)
+					resp.Body.Close()
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					var decoded map[string]any
+					if err := json.Unmarshal(body, &decoded); err != nil {
+						t.Errorf("%s: invalid JSON under load: %v (%.120s)", url, err, body)
+						return
+					}
+				}
+			}(srv.URL + path)
+		}
+	}
+	scrapers.Wait()
+	close(stop)
+	emitter.Wait()
+}

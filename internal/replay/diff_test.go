@@ -1,0 +1,114 @@
+package replay
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"sgxpreload/internal/obs"
+)
+
+func TestCompareIdentical(t *testing.T) {
+	events := allKindEvents()
+	d := Compare(events, events)
+	if !d.Identical || d.First != nil {
+		t.Fatalf("self-diff not identical: %+v", d.First)
+	}
+	for _, dl := range append(d.Counts, d.Report...) {
+		if dl.Diff != 0 {
+			t.Errorf("self-diff delta %s = %g, want 0", dl.Name, dl.Diff)
+		}
+	}
+	if !strings.Contains(d.String(), "timelines:           identical") {
+		t.Errorf("text rendering missing identical marker:\n%s", d.String())
+	}
+}
+
+func TestCompareFirstDivergence(t *testing.T) {
+	a := allKindEvents()
+	b := append([]obs.Event(nil), a...)
+	b[3].V1 += 9
+	d := Compare(a, b)
+	if d.Identical {
+		t.Fatal("diff of modified timeline reports identical")
+	}
+	if d.First == nil || d.First.Index != 3 {
+		t.Fatalf("first divergence = %+v, want index 3", d.First)
+	}
+	if d.First.A == nil || d.First.B == nil || d.First.A.V1 == d.First.B.V1 {
+		t.Fatalf("divergent events not captured: %+v", d.First)
+	}
+}
+
+func TestComparePrefix(t *testing.T) {
+	a := allKindEvents()
+	b := a[:len(a)-2]
+	d := Compare(a, b)
+	if d.Identical || d.First == nil {
+		t.Fatal("prefix timeline reported identical")
+	}
+	if d.First.Index != len(b) || d.First.A == nil || d.First.B != nil {
+		t.Fatalf("prefix divergence = %+v, want index %d with nil b side", d.First, len(b))
+	}
+	if !strings.Contains(d.String(), "<end of timeline>") {
+		t.Errorf("text rendering missing end-of-timeline marker:\n%s", d.String())
+	}
+}
+
+func TestCompareCountAndReportDeltas(t *testing.T) {
+	a := []obs.Event{
+		{T: 100, Kind: obs.KindFaultBegin, Page: 1},
+		{T: 200, Kind: obs.KindFaultEnd, Page: 1, V1: 100},
+	}
+	b := []obs.Event{
+		{T: 100, Kind: obs.KindFaultBegin, Page: 1},
+		{T: 300, Kind: obs.KindFaultEnd, Page: 1, V1: 200},
+		{T: 400, Kind: obs.KindDFPStop, V1: 10, V2: 1},
+	}
+	d := Compare(a, b)
+	counts := map[string]Delta{}
+	for _, dl := range d.Counts {
+		counts[dl.Name] = dl
+	}
+	if dl := counts["dfp_stop"]; dl.A != 0 || dl.B != 1 || dl.Diff != 1 {
+		t.Errorf("dfp_stop count delta = %+v", dl)
+	}
+	if dl := counts["fault_begin"]; dl.Diff != 0 {
+		t.Errorf("fault_begin count delta = %+v", dl)
+	}
+	report := map[string]Delta{}
+	for _, dl := range d.Report {
+		report[dl.Name] = dl
+	}
+	if dl := report["fault_latency_mean"]; dl.A != 100 || dl.B != 200 {
+		t.Errorf("fault_latency_mean delta = %+v", dl)
+	}
+	if dl := report["dfp_stop_cycle"]; dl.B != 400 {
+		t.Errorf("dfp_stop_cycle delta = %+v", dl)
+	}
+}
+
+// TestDiffJSONDeterministic pins the JSON rendering: marshaling the same
+// diff twice yields identical bytes, and the payload parses back.
+func TestDiffJSONDeterministic(t *testing.T) {
+	a := allKindEvents()
+	b := append([]obs.Event(nil), a[:len(a)-1]...)
+	d := Compare(a, b)
+	j1, err := json.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, _ := json.Marshal(d)
+	if string(j1) != string(j2) {
+		t.Fatal("diff JSON not deterministic")
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(j1, &decoded); err != nil {
+		t.Fatalf("diff JSON does not parse: %v", err)
+	}
+	for _, key := range []string{"len_a", "len_b", "identical", "first_divergence", "count_deltas", "report_deltas"} {
+		if _, ok := decoded[key]; !ok {
+			t.Errorf("diff JSON missing %q", key)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package replay
+
+import (
+	"strings"
+	"testing"
+
+	"sgxpreload/internal/obs"
+)
+
+// FuzzReadJSONL drives the parser with arbitrary bytes — truncated
+// traces, corrupt lines, hostile headers. The invariants: never panic,
+// and any input the parser accepts must re-serialize and re-parse to the
+// same timeline (accepted inputs are semantically unambiguous).
+func FuzzReadJSONL(f *testing.F) {
+	var valid strings.Builder
+	if err := obs.WriteJSONL(&valid, allKindEvents()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.String())
+	f.Add(valid.String()[:len(valid.String())/2])       // truncated mid-line
+	f.Add(obs.TraceHeaderJSONL() + "\n")                // header only
+	f.Add(obs.TraceHeaderJSONL())                       // header without newline
+	f.Add("")                                           // empty
+	f.Add(`{"schema":"sgxpreload-trace","version":2}`)  // future version
+	f.Add(`{"t":1,"kind":"scan","page":0,"batch":0,"v1":0,"v2":0}`) // headerless
+	f.Add(obs.TraceHeaderJSONL() + "\n" + `{"t":1,"kind":"nope","page":0,"batch":0,"v1":0,"v2":0}`)
+	f.Add(obs.TraceHeaderJSONL() + "\n" + `{"t":-1,"kind":"scan","page":-2,"batch":0,"v1":0,"v2":0}`)
+	f.Add(obs.TraceHeaderJSONL() + "\n{\"t\":1,")
+
+	f.Fuzz(func(t *testing.T, input string) {
+		events, err := ReadJSONL(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var out strings.Builder
+		if err := obs.WriteJSONL(&out, events); err != nil {
+			t.Fatalf("re-serialize of accepted input failed: %v", err)
+		}
+		again, err := ReadJSONL(strings.NewReader(out.String()))
+		if err != nil {
+			t.Fatalf("re-parse of re-serialized input failed: %v", err)
+		}
+		if len(again) != len(events) {
+			t.Fatalf("re-parse changed event count: %d -> %d", len(events), len(again))
+		}
+		for i := range events {
+			if events[i] != again[i] {
+				t.Fatalf("event %d changed across round trip: %+v -> %+v", i, events[i], again[i])
+			}
+		}
+	})
+}
+
+// FuzzReadCSV is the same harness over the CSV reader.
+func FuzzReadCSV(f *testing.F) {
+	var valid strings.Builder
+	if err := obs.WriteCSV(&valid, allKindEvents()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.String())
+	f.Add(valid.String()[:len(valid.String())/3])
+	f.Add(obs.TraceHeaderCSV() + "\n")
+	f.Add(obs.TraceHeaderCSV() + "\nt,kind,page,batch,v1,v2\n")
+	f.Add("")
+	f.Add("t,kind,page,batch,v1,v2\n1,scan,0,0,0,0\n")
+	f.Add(obs.TraceHeaderCSV() + "\nt,kind,page,batch,v1,v2\n1,scan,0,0,0\n")
+
+	f.Fuzz(func(t *testing.T, input string) {
+		events, err := ReadCSV(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var out strings.Builder
+		if err := obs.WriteCSV(&out, events); err != nil {
+			t.Fatalf("re-serialize of accepted input failed: %v", err)
+		}
+		if _, err := ReadCSV(strings.NewReader(out.String())); err != nil {
+			t.Fatalf("re-parse of re-serialized input failed: %v", err)
+		}
+	})
+}

@@ -1,0 +1,226 @@
+// Package replay loads recorded event timelines back into memory so the
+// derived metrics in internal/obs can be recomputed — and two runs can
+// be compared — without re-simulating anything.
+//
+// The writers are obs.Recorder.WriteJSONL and WriteCSV; both start their
+// output with a schema/version header (obs.TraceSchema, obs.TraceVersion)
+// and this package refuses traces whose header is missing or names a
+// different schema or version, so a field change can never silently
+// misparse an old artifact. Parsing is strict per line — an unknown event
+// kind, a malformed record, or a truncated line is an error carrying the
+// 1-based line number, never a panic — and lossless: re-serializing a
+// parsed timeline with obs.WriteJSONL reproduces the input byte for byte
+// (the round-trip property test and the parser fuzzer pin both).
+//
+// On top of loading, Compare diffs two timelines: the first divergent
+// event, per-kind count deltas, and the deltas of every derived Report
+// field, with deterministic text and JSON renderings. This is the
+// paper's run-by-run evaluation style (DFP versus DFP-stop, Figures
+// 8–13) applied to recorded artifacts instead of live runs.
+package replay
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"sgxpreload/internal/mem"
+	"sgxpreload/internal/obs"
+)
+
+// maxLineBytes bounds one trace line. Real lines are under 120 bytes;
+// the cap keeps a corrupt or hostile file from buffering unbounded data.
+const maxLineBytes = 1 << 20
+
+// header is the JSONL schema line written by obs.Recorder.WriteJSONL.
+type header struct {
+	Schema  string   `json:"schema"`
+	Version int      `json:"version"`
+	Fields  []string `json:"fields"`
+}
+
+// jsonEvent is one JSONL event line on the wire.
+type jsonEvent struct {
+	T     uint64 `json:"t"`
+	Kind  string `json:"kind"`
+	Page  int64  `json:"page"`
+	Batch uint64 `json:"batch"`
+	V1    uint64 `json:"v1"`
+	V2    uint64 `json:"v2"`
+}
+
+// ReadFile loads a recorded timeline, dispatching on the extension the
+// trace writer used: ".csv" selects CSV, anything else JSONL.
+func ReadFile(path string) ([]obs.Event, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var events []obs.Event
+	if strings.HasSuffix(path, ".csv") {
+		events, err = ReadCSV(f)
+	} else {
+		events, err = ReadJSONL(f)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return events, nil
+}
+
+// ReadJSONL parses a JSONL trace as written by obs.Recorder.WriteJSONL:
+// the schema header line, then one event per line. It returns an error —
+// never panics — on a missing or mismatched header, an unknown kind, or
+// any malformed line.
+func ReadJSONL(r io.Reader) ([]obs.Event, error) {
+	sc := newLineScanner(r)
+	if !sc.Scan() {
+		return nil, scanErr(sc, fmt.Errorf("empty trace: missing %s header", obs.TraceSchema))
+	}
+	if err := parseJSONLHeader(sc.Bytes()); err != nil {
+		return nil, err
+	}
+	var events []obs.Event
+	line := 1
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		e, err := parseJSONLEvent(raw)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", line, err)
+		}
+		events = append(events, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("line %d: %w", line+1, err)
+	}
+	return events, nil
+}
+
+// parseJSONLHeader validates the schema line.
+func parseJSONLHeader(raw []byte) error {
+	var h header
+	if err := json.Unmarshal(raw, &h); err != nil || h.Schema == "" {
+		return fmt.Errorf("line 1: not a %s header (trace written before schema versioning?): %.80s",
+			obs.TraceSchema, raw)
+	}
+	if h.Schema != obs.TraceSchema {
+		return fmt.Errorf("line 1: schema %q, want %q", h.Schema, obs.TraceSchema)
+	}
+	if h.Version != obs.TraceVersion {
+		return fmt.Errorf("line 1: trace version %d, this reader understands version %d",
+			h.Version, obs.TraceVersion)
+	}
+	return nil
+}
+
+// parseJSONLEvent parses one event line.
+func parseJSONLEvent(raw []byte) (obs.Event, error) {
+	var je jsonEvent
+	if err := json.Unmarshal(raw, &je); err != nil {
+		return obs.Event{}, fmt.Errorf("malformed event: %w", err)
+	}
+	return wireToEvent(je.T, je.Kind, je.Page, je.Batch, je.V1, je.V2)
+}
+
+// ReadCSV parses a CSV trace as written by obs.Recorder.WriteCSV: the
+// schema comment line, the column header row, then one event per row.
+func ReadCSV(r io.Reader) ([]obs.Event, error) {
+	sc := newLineScanner(r)
+	if !sc.Scan() {
+		return nil, scanErr(sc, fmt.Errorf("empty trace: missing %q header", obs.TraceHeaderCSV()))
+	}
+	if got := sc.Text(); got != obs.TraceHeaderCSV() {
+		return nil, fmt.Errorf("line 1: header %.80q, want %q (trace written before schema versioning?)",
+			got, obs.TraceHeaderCSV())
+	}
+	if !sc.Scan() {
+		return nil, scanErr(sc, fmt.Errorf("truncated trace: missing column header"))
+	}
+	if got, want := sc.Text(), "t,kind,page,batch,v1,v2"; got != want {
+		return nil, fmt.Errorf("line 2: column header %.80q, want %q", got, want)
+	}
+	var events []obs.Event
+	line := 2
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if text == "" {
+			continue
+		}
+		e, err := parseCSVEvent(text)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", line, err)
+		}
+		events = append(events, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("line %d: %w", line+1, err)
+	}
+	return events, nil
+}
+
+// parseCSVEvent parses one CSV row.
+func parseCSVEvent(text string) (obs.Event, error) {
+	fields := strings.Split(text, ",")
+	if len(fields) != 6 {
+		return obs.Event{}, fmt.Errorf("malformed row: %d fields, want 6", len(fields))
+	}
+	t, err := strconv.ParseUint(fields[0], 10, 64)
+	if err != nil {
+		return obs.Event{}, fmt.Errorf("bad t %q", fields[0])
+	}
+	page, err := strconv.ParseInt(fields[2], 10, 64)
+	if err != nil {
+		return obs.Event{}, fmt.Errorf("bad page %q", fields[2])
+	}
+	var rest [3]uint64
+	for i, name := range [...]string{"batch", "v1", "v2"} {
+		v, err := strconv.ParseUint(fields[3+i], 10, 64)
+		if err != nil {
+			return obs.Event{}, fmt.Errorf("bad %s %q", name, fields[3+i])
+		}
+		rest[i] = v
+	}
+	return wireToEvent(t, fields[1], page, rest[0], rest[1], rest[2])
+}
+
+// wireToEvent validates and converts one decoded record. page -1 is the
+// writer's rendering of mem.NoPage; other negatives are corruption.
+func wireToEvent(t uint64, kind string, page int64, batch, v1, v2 uint64) (obs.Event, error) {
+	k, ok := obs.KindByName(kind)
+	if !ok {
+		return obs.Event{}, fmt.Errorf("unknown event kind %q", kind)
+	}
+	p := mem.PageID(page)
+	switch {
+	case page == -1:
+		p = mem.NoPage
+	case page < 0:
+		return obs.Event{}, fmt.Errorf("negative page %d", page)
+	}
+	return obs.Event{T: t, Kind: k, Page: p, Batch: batch, V1: v1, V2: v2}, nil
+}
+
+// newLineScanner returns a scanner with the trace line-length cap.
+func newLineScanner(r io.Reader) *bufio.Scanner {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), maxLineBytes)
+	return sc
+}
+
+// scanErr prefers the scanner's I/O error over the fallback.
+func scanErr(sc *bufio.Scanner, fallback error) error {
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	return fallback
+}
