@@ -3,7 +3,7 @@
 GO ?= go
 
 .PHONY: build test race bench bench-micro bench-json bench-smoke verify verify-obs \
-	replay-smoke check-docs
+	replay-smoke stream-smoke check-docs
 
 # The fault-servicing hot-path microbenchmarks (channel deque, EPC page
 # table, end-to-end HandleFault).
@@ -27,11 +27,13 @@ bench-micro:
 	$(GO) test ./internal/channel/ ./internal/epc/ ./internal/kernel/ \
 		-run '^$$' -bench '$(BENCH_MICRO)' -benchmem
 
-# Regenerate BENCH_engine.json: current microbenchmark + RunAll numbers,
-# with the previous committed numbers carried forward as the baseline.
+# Regenerate BENCH_engine.json: current microbenchmark + RunAll +
+# streamed-engine numbers, with the previous committed numbers carried
+# forward as the baseline.
 bench-json:
 	{ $(GO) test ./internal/channel/ ./internal/epc/ ./internal/kernel/ \
 		-run '^$$' -bench '$(BENCH_MICRO)' -benchmem ; \
+	  $(GO) test ./internal/sim/ -run '^$$' -bench 'BenchmarkRunStream' -benchmem ; \
 	  $(GO) test ./internal/experiments/ -run '^$$' -bench 'BenchmarkRunAll' -benchtime 2x ; } \
 	| $(GO) run ./cmd/benchjson -baseline BENCH_engine.json -out BENCH_engine.json
 
@@ -61,6 +63,13 @@ replay-smoke:
 		| grep -q 'timelines:           identical'
 	rm -rf .replay-smoke
 
+# Streaming acceptance: a 10M-access pull-based run must finish with
+# peak heap independent of trace length (the materialized equivalent is
+# ~400 MB), and the per-step allocation guard must hold.
+stream-smoke:
+	SGXSIM_STREAMSMOKE=1 $(GO) test ./internal/sim/ \
+		-run 'TestStreamSmoke|TestStepAllocsO1' -v
+
 # Docs drift gate: every cmd/sgxsim flag must be mentioned in at least
 # one of README.md, OBSERVABILITY.md, or EXPERIMENTS.md.
 check-docs:
@@ -72,7 +81,7 @@ check-docs:
 	[ $$missing -eq 0 ] && echo "check-docs: all cmd/sgxsim flags documented"
 
 # The full pre-merge gate.
-verify: verify-obs check-docs
+verify: verify-obs stream-smoke check-docs
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test -race ./...

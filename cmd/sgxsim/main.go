@@ -12,6 +12,8 @@
 //	sgxsim -replay run.jsonl                    # re-derive metrics, no simulation
 //	sgxsim -diff a.jsonl b.jsonl                # first divergence + metric deltas
 //	sgxsim -bench lbm -scheme dfp -serve :8080  # live /metrics, /events, /report
+//	sgxsim -bench lbm -scheme dfp -stream       # O(1)-memory streamed run
+//	sgxsim -bench lbm -stream -repeat 0 -serve :8080  # unbounded, watch live
 //	sgxsim -list
 //
 // See OBSERVABILITY.md for the trace schema and the replay/diff/serve
@@ -32,6 +34,7 @@ import (
 	"sgxpreload/internal/dfp"
 	"sgxpreload/internal/epc"
 	"sgxpreload/internal/experiments"
+	"sgxpreload/internal/mem"
 	"sgxpreload/internal/obs"
 	"sgxpreload/internal/replay"
 	"sgxpreload/internal/sim"
@@ -59,6 +62,8 @@ func run(args []string, out io.Writer) error {
 		predictor  = fs.String("predictor", "multistream", "fault-history strategy: multistream | stride | markov | nextn")
 		policy     = fs.String("policy", "clock", "EPC eviction: clock | fifo | lru | random")
 		reclaim    = fs.Bool("reclaim", false, "enable the ksgxswapd-style background reclaimer")
+		streamMode = fs.Bool("stream", false, "pull accesses from the workload generator on demand instead of materializing the trace (O(1) memory)")
+		repeat     = fs.Int("repeat", 1, "with -stream, replay the workload's trace this many times back-to-back (0 = run until interrupted; pair with -serve)")
 		compare    = fs.Bool("compare", false, "also run the baseline and report the improvement")
 		tracePath  = fs.String("trace", "", "write the run's event timeline (JSONL; a .csv extension selects CSV)")
 		metricsOut = fs.String("metrics-out", "", "write derived metrics (text report; a .svg extension renders the timeline chart)")
@@ -91,6 +96,15 @@ func run(args []string, out io.Writer) error {
 	w, err := workload.ByName(*bench)
 	if err != nil {
 		return err
+	}
+	if *repeat < 0 {
+		return fmt.Errorf("-repeat must be >= 0, got %d", *repeat)
+	}
+	if *repeat != 1 && !*streamMode {
+		return fmt.Errorf("-repeat needs -stream (materialized runs always replay once)")
+	}
+	if *repeat == 0 && *serveAddr == "" {
+		return fmt.Errorf("-repeat 0 runs forever; pair it with -serve to watch the run")
 	}
 	var sch sim.Scheme
 	switch strings.ToLower(*scheme) {
@@ -143,8 +157,17 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		for _, a := range w.Generate(workload.Train) {
-			cl.Record(a.Site, a.Page)
+		if *streamMode {
+			// Stream the profiling pass too: the train trace never exists
+			// as a slice either.
+			src := w.Stream(workload.Train)
+			for a, ok := src.Next(); ok; a, ok = src.Next() {
+				cl.Record(a.Site, a.Page)
+			}
+		} else {
+			for _, a := range w.Generate(workload.Train) {
+				cl.Record(a.Site, a.Page)
+			}
 		}
 		sel := sip.Select(cl.Profile(), *threshold, 32)
 		cfg.Selection = sel
@@ -152,7 +175,10 @@ func run(args []string, out io.Writer) error {
 			sel.Points(), *threshold*100)
 	}
 
-	trace := w.Generate(workload.Ref)
+	var trace []mem.Access
+	if !*streamMode {
+		trace = w.Generate(workload.Ref)
+	}
 
 	// With -compare, the scheme run and the baseline run are independent
 	// cells; fan them out on the sweep scheduler. Results land by index,
@@ -186,7 +212,15 @@ func run(args []string, out io.Writer) error {
 	}
 	configs[0].Hook = obs.Tee(hooks...)
 	results, err := experiments.Sweep(*parallel, len(configs), func(i int) (sim.Result, error) {
-		r, err := sim.Run(trace, configs[i])
+		var r sim.Result
+		var err error
+		if *streamMode {
+			// Each cell pulls its own fresh stream, so -compare cells stay
+			// independent under any -parallel setting.
+			r, err = sim.RunStream(repeatStream(w, *repeat), configs[i])
+		} else {
+			r, err = sim.Run(trace, configs[i])
+		}
 		if *progress && err == nil {
 			fmt.Fprintf(os.Stderr, "  %s run done\n", configs[i].Scheme)
 		}
@@ -236,6 +270,27 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// repeatStream replays the workload's Ref trace n times back-to-back,
+// regenerating the coroutine stream at each cycle boundary (n == 0
+// repeats forever). Memory stays O(1) at any n.
+func repeatStream(w *workload.Workload, n int) mem.Stream {
+	cur := w.Stream(workload.Ref)
+	cycle := 1
+	return mem.StreamFunc(func() (mem.Access, bool) {
+		for {
+			a, ok := cur.Next()
+			if ok {
+				return a, true
+			}
+			if n > 0 && cycle >= n {
+				return mem.Access{}, false
+			}
+			cycle++
+			cur = w.Stream(workload.Ref)
+		}
+	})
 }
 
 // writeTrace exports the recorded timeline; the extension picks the

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -289,5 +290,62 @@ func TestAblationFlags(t *testing.T) {
 	}
 	if err := run([]string{"-policy", "bogus"}, &buf); err == nil {
 		t.Error("bogus policy accepted")
+	}
+}
+
+func TestStreamFlagMatchesMaterialized(t *testing.T) {
+	// -stream must not change a single byte of the report.
+	mk := func(extra ...string) string {
+		var buf strings.Builder
+		args := append([]string{"-bench", "cactuBSSN", "-scheme", "dfp-stop"}, extra...)
+		if err := run(args, &buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	if mat, str := mk(), mk("-stream"); mat != str {
+		t.Errorf("-stream changed the report:\n--- materialized\n%s--- streamed\n%s", mat, str)
+	}
+}
+
+func TestStreamRepeat(t *testing.T) {
+	count := func(extra ...string) string {
+		var buf strings.Builder
+		args := append([]string{"-bench", "cactuBSSN", "-stream"}, extra...)
+		if err := run(args, &buf); err != nil {
+			t.Fatal(err)
+		}
+		for _, line := range strings.Split(buf.String(), "\n") {
+			if strings.HasPrefix(line, "accesses:") {
+				return strings.TrimSpace(strings.TrimPrefix(line, "accesses:"))
+			}
+		}
+		t.Fatalf("no accesses line in:\n%s", buf.String())
+		return ""
+	}
+	one := count()
+	three := count("-repeat", "3")
+	n1, n3 := 0, 0
+	if _, err := fmt.Sscan(one, &n1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fmt.Sscan(three, &n3); err != nil {
+		t.Fatal(err)
+	}
+	if n3 != 3*n1 {
+		t.Errorf("-repeat 3 ran %d accesses, want 3x%d", n3, n1)
+	}
+}
+
+func TestStreamFlagErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-repeat", "3"},             // -repeat without -stream
+		{"-stream", "-repeat", "-1"}, // negative
+		{"-stream", "-repeat", "0"},  // unbounded without -serve
+	} {
+		var buf strings.Builder
+		if err := run(args, &buf); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
 	}
 }

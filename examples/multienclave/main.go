@@ -67,4 +67,21 @@ func main() {
 		fmt.Printf("%-12s %14d %14d %9.2fx %14d %+9.1f%%\n",
 			name, solo[name], plain[i].Cycles, slow, tuned[i].Cycles, rec)
 	}
+
+	// Every single-enclave knob works per enclave under contention, too:
+	// ablate deepsjeng's fault-history strategy while lbm keeps DFP-stop.
+	predRun := func(pred string) []sgxpreload.SharedResult {
+		res, err := sgxpreload.RunShared([]sgxpreload.EnclaveSpec{
+			{Workload: lbm, Scheme: sgxpreload.DFPStop},
+			{Workload: dj, Scheme: sgxpreload.DFP, Predictor: pred},
+		}, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
+	ms, nn := predRun(""), predRun("nextn")
+	fmt.Printf("\ndeepsjeng predictor ablation under sharing: multistream %d cycles, next-N %d cycles (%+.1f%%)\n",
+		ms[1].Cycles, nn[1].Cycles,
+		100*(1-float64(nn[1].Cycles)/float64(ms[1].Cycles)))
 }

@@ -119,6 +119,10 @@ type Predictor struct {
 
 	nextStream uint64   // stream id allocator
 	hook       obs.Hook // nil = observability disabled
+
+	// scratch is the reusable prediction buffer; it keeps the per-fault
+	// hot path allocation-free on unbounded streamed runs.
+	scratch []mem.PageID
 }
 
 // New returns a predictor for the given configuration.
@@ -146,7 +150,9 @@ func (p *Predictor) Stopped() bool { return p.stopped }
 
 // OnFault implements Algorithm 1. npn is the newly faulting page number.
 // It returns the list of pages to preload (nil when the fault does not
-// extend any stream, or after the global abort).
+// extend any stream, or after the global abort). The returned slice is
+// only valid until the next OnFault call: it aliases an internal scratch
+// buffer, so callers that need the pages later must copy them.
 //
 // When npn is sequential to a stream — strictly adjacent to the tail of a
 // stream that has not predicted yet, or anywhere inside (tail, pend+1] of
@@ -218,7 +224,7 @@ func (e *entry) matches(npn mem.PageID, backward bool) (Direction, bool) {
 // predict returns the furthest page predicted and the LoadLength pages
 // following npn in direction dir, stopping at the address-space boundary.
 func (p *Predictor) predict(npn mem.PageID, dir Direction) (mem.PageID, []mem.PageID) {
-	out := make([]mem.PageID, 0, p.cfg.LoadLength)
+	out := p.scratch[:0]
 	cur := npn
 	for i := 0; i < p.cfg.LoadLength; i++ {
 		next := successor(cur, dir)
@@ -228,6 +234,7 @@ func (p *Predictor) predict(npn mem.PageID, dir Direction) (mem.PageID, []mem.Pa
 		cur = next
 		out = append(out, cur)
 	}
+	p.scratch = out
 	return cur, out
 }
 

@@ -193,6 +193,34 @@ func (r *Runner) RunDFP(w *workload.Workload, scheme sim.Scheme, d dfp.Config) (
 	return res, nil
 }
 
+// RunStreamed is Run over the workload's pull-based generator: identical
+// results, but the ref trace is never materialized (and never cached) —
+// the memory-bound path for footprints too large to hold as a slice.
+// Profiling for SIP schemes still uses the cached train trace.
+func (r *Runner) RunStreamed(w *workload.Workload, scheme sim.Scheme) (sim.Result, error) {
+	cfg := sim.Config{
+		Scheme:       scheme,
+		EPCPages:     r.p.EPCPages,
+		ELRangePages: w.ELRangePages(),
+		DFP:          r.p.DFP,
+	}
+	if scheme.UsesSIP() {
+		if !w.Instrumentable {
+			return sim.Result{}, fmt.Errorf("experiments: %s is not instrumentable (%s)", w.Name, w.Language)
+		}
+		sel, err := r.Selection(w)
+		if err != nil {
+			return sim.Result{}, err
+		}
+		cfg.Selection = sel
+	}
+	res, err := sim.RunStream(w.Stream(workload.Ref), cfg)
+	if err != nil {
+		return sim.Result{}, fmt.Errorf("experiments: %s/%s: %w", w.Name, scheme, err)
+	}
+	return res, nil
+}
+
 // RunAll executes the full (workload, scheme) grid in parallel on the
 // runner's worker pool and returns results indexed [i][j] to match
 // names[i] and schemes[j]. Cells are independent simulations; the shared

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"sgxpreload/internal/sim"
+	"sgxpreload/internal/workload"
 )
 
 // The experiment tests assert the paper's qualitative findings — who
@@ -327,5 +328,44 @@ func TestSchemeStringsAndSets(t *testing.T) {
 	}
 	if len(LargeWorkingSet()) != 9 || len(SIPSet()) != 6 || len(Figure7Set()) != 7 {
 		t.Error("experiment benchmark sets changed size unexpectedly")
+	}
+}
+
+func TestRunStreamedMatchesRun(t *testing.T) {
+	// The streamed runner path must reproduce the materialized runner's
+	// results exactly, including the SIP-profiled schemes.
+	r := NewRunner(Default())
+	for _, tc := range []struct {
+		bench  string
+		scheme sim.Scheme
+	}{
+		{"lbm", sim.DFPStop},
+		{"deepsjeng", sim.Baseline},
+		{"microbenchmark", sim.Hybrid},
+	} {
+		w, err := workload.ByName(tc.bench)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mat, err := r.Run(w, tc.scheme)
+		if err != nil {
+			t.Fatal(err)
+		}
+		str, err := r.RunStreamed(w, tc.scheme)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mat != str {
+			t.Errorf("%s/%s: RunStreamed diverges from Run:\n  run    %+v\n  stream %+v",
+				tc.bench, tc.scheme, mat, str)
+		}
+	}
+	// Non-instrumentable SIP requests fail the same way on both paths.
+	w, err := workload.ByName("bwaves")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.RunStreamed(w, sim.SIP); err == nil {
+		t.Error("RunStreamed instrumented a Fortran benchmark")
 	}
 }

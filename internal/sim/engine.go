@@ -1,0 +1,302 @@
+package sim
+
+import (
+	"fmt"
+
+	"sgxpreload/internal/channel"
+	"sgxpreload/internal/core"
+	"sgxpreload/internal/dfp"
+	"sgxpreload/internal/epc"
+	"sgxpreload/internal/kernel"
+	"sgxpreload/internal/mem"
+	"sgxpreload/internal/sip"
+)
+
+// This file is the repository's one engine loop. Run, RunStream, and
+// RunShared are all wrappers over Engine: a single-enclave run is the
+// N = 1 case of the multi-enclave co-simulation, so every scheme knob —
+// predictor strategy, DFP tunables, SIP selection, background reclaim —
+// is wired exactly once (buildState) and is therefore available under
+// EPC contention by construction.
+//
+// The engine is incremental: New builds it, each Step executes one
+// access of the enclave whose virtual clock is smallest, and Results can
+// be read at any point (a live metrics endpoint reads them mid-run).
+// Input arrives through pull-based mem.Streams, and the engine looks
+// exactly one access ahead per enclave, so a run's memory footprint is
+// independent of trace length — unbounded generators drive unbounded
+// runs in O(1) memory.
+
+// Engine co-simulates N >= 1 enclaves round-robin over one shared EPC
+// and one load-channel group. Construct with New, drive with Step.
+type Engine struct {
+	costs  mem.CostModel
+	states []*enclaveState
+}
+
+// enclaveState is the per-enclave execution cursor.
+type enclaveState struct {
+	enc    Enclave
+	src    mem.Stream
+	kern   *kernel.Kernel
+	bitmap *epc.Bitmap
+	sel    *sip.Selection // nil unless the scheme uses SIP
+	base   mem.PageID     // offset of the enclave's range in shared space
+
+	next mem.Access // one-access lookahead (the scheduler needs Compute)
+	has  bool
+	seen uint64 // accesses pulled so far, for error positions
+
+	t   uint64 // enclave-local virtual clock
+	res Result
+}
+
+// New builds an engine over the enclaves' streams (or materialized
+// traces) and the shared platform configuration. Enclaves advance in
+// global virtual-time order — on every Step the enclave with the
+// smallest clock executes its next access — so channel serialization and
+// evictions interleave exactly as a time-sliced platform would
+// interleave them.
+func New(enclaves []Enclave, cfg SharedConfig) (*Engine, error) {
+	if len(enclaves) == 0 {
+		return nil, fmt.Errorf("sim: engine needs at least one enclave")
+	}
+	if cfg.Costs == (mem.CostModel{}) {
+		cfg.Costs = mem.DefaultCostModel()
+	}
+	if err := cfg.Costs.Validate(); err != nil {
+		return nil, err
+	}
+
+	var total uint64
+	for i, e := range enclaves {
+		if e.Pages == 0 {
+			return nil, fmt.Errorf("sim: enclave %d (%s) declares zero pages", i, e.Name)
+		}
+		total += e.Pages
+	}
+	shared, err := epc.NewWithPolicy(cfg.EPCPages, total, cfg.EvictPolicy)
+	if err != nil {
+		return nil, err
+	}
+	channels := channel.NewGroup(len(enclaves))
+
+	eng := &Engine{costs: cfg.Costs, states: make([]*enclaveState, len(enclaves))}
+	var base mem.PageID
+	for i, e := range enclaves {
+		st, err := buildState(e, cfg, shared, channels[i], total, base)
+		if err != nil {
+			eng.Close()
+			return nil, err
+		}
+		eng.states[i] = st
+		base += mem.PageID(e.Pages)
+	}
+	// Prime the one-access lookahead so the first Step can schedule.
+	for _, st := range eng.states {
+		st.advance()
+	}
+	return eng, nil
+}
+
+// buildState wires one enclave: its kernel over the shared EPC and
+// channel group, and its scheme configuration. This is the only place in
+// the package where a scheme is turned into kernel machinery.
+func buildState(e Enclave, cfg SharedConfig, shared *epc.EPC, ch *channel.Channel, total uint64, base mem.PageID) (*enclaveState, error) {
+	kcfg := kernel.Config{
+		Costs:        cfg.Costs,
+		EPCPages:     cfg.EPCPages,
+		ELRangePages: total,
+		ScanPeriod:   cfg.ScanPeriod,
+		MaxPending:   cfg.MaxPending,
+		RangeLo:      base,
+		RangeHi:      base + mem.PageID(e.Pages),
+		Hook:         cfg.Hook,
+
+		BackgroundReclaim: e.BackgroundReclaim,
+	}
+	if e.Scheme.UsesDFP() {
+		d := e.DFP
+		if d.StreamListLen == 0 && d.LoadLength == 0 {
+			d = dfp.DefaultConfig()
+		}
+		if e.Scheme == DFPStop || e.Scheme == Hybrid {
+			d.Stop = true
+		}
+		if e.Predictor != "" && e.Predictor != core.KindMultiStream {
+			pred, err := core.NewPredictor(e.Predictor, d)
+			if err != nil {
+				return nil, fmt.Errorf("sim: enclave %s: %w", e.Name, err)
+			}
+			kcfg.Predictor = pred
+		} else {
+			kcfg.DFP = &d
+		}
+	}
+	k, err := kernel.NewShared(kcfg, shared, ch)
+	if err != nil {
+		return nil, fmt.Errorf("sim: enclave %s: %w", e.Name, err)
+	}
+	st := &enclaveState{
+		enc:    e,
+		src:    e.source(),
+		kern:   k,
+		bitmap: shared.PresenceBitmap(),
+		base:   base,
+		res:    Result{Scheme: e.Scheme},
+	}
+	if e.Scheme.UsesSIP() {
+		st.sel = e.Selection
+	}
+	return st, nil
+}
+
+// source resolves the enclave's input: a materialized Trace wraps into a
+// slice stream, otherwise the Stream is used directly.
+func (e Enclave) source() mem.Stream {
+	if e.Trace != nil || e.Stream == nil {
+		return mem.SliceStream(e.Trace)
+	}
+	return e.Stream
+}
+
+// advance pulls the enclave's next access into the lookahead slot.
+func (st *enclaveState) advance() {
+	st.next, st.has = st.src.Next()
+}
+
+// Step executes one access: the enclave with the smallest virtual clock
+// (its current time plus the compute preceding its next access) runs.
+// It returns false when every stream is exhausted; the error reports an
+// access outside its enclave's declared range.
+func (e *Engine) Step() (bool, error) {
+	var next *enclaveState
+	for _, st := range e.states {
+		if !st.has {
+			continue
+		}
+		if next == nil || st.t+st.next.Compute < next.t+next.next.Compute {
+			next = st
+		}
+	}
+	if next == nil {
+		return false, nil
+	}
+	if err := next.step(e.costs); err != nil {
+		return false, err
+	}
+	next.advance()
+	return true, nil
+}
+
+// Done reports whether every enclave's stream is exhausted.
+func (e *Engine) Done() bool {
+	for _, st := range e.states {
+		if st.has {
+			return false
+		}
+	}
+	return true
+}
+
+// Results snapshots every enclave's outcome. It may be called mid-run —
+// a live observer polls it — and again after Done; each call derives a
+// fresh snapshot from the current clocks and kernel counters.
+func (e *Engine) Results() []SharedResult {
+	out := make([]SharedResult, len(e.states))
+	for i, st := range e.states {
+		r := st.res
+		r.Cycles = st.t
+		r.Kernel = st.kern.Stats()
+		out[i] = SharedResult{Name: st.enc.Name, Result: r}
+	}
+	return out
+}
+
+// Result snapshots enclave i's outcome (see Results).
+func (e *Engine) Result(i int) SharedResult { return e.Results()[i] }
+
+// Close releases enclave streams that hold resources (generator
+// coroutines). Runs that drain to completion release them implicitly;
+// Close covers abandoned engines and error paths. Safe to call twice.
+func (e *Engine) Close() {
+	for _, st := range e.states {
+		if st == nil {
+			continue
+		}
+		if c, ok := st.src.(mem.Closer); ok {
+			c.Close()
+		}
+	}
+}
+
+// run drives the engine to completion.
+func (e *Engine) run() error {
+	for {
+		more, err := e.Step()
+		if err != nil {
+			e.Close()
+			return err
+		}
+		if !more {
+			return nil
+		}
+	}
+}
+
+// step executes one access of the enclave's stream: the enclave-side
+// protocol of the paper — regular accesses, oracle prefetch
+// notifications, and (when SIP instruments the site) the BIT_MAP_CHECK
+// followed by a preload notification instead of a fault.
+func (st *enclaveState) step(costs mem.CostModel) error {
+	acc := st.next
+	st.seen++
+	if uint64(acc.Page) >= st.enc.Pages {
+		return fmt.Errorf("sim: enclave %s access %d touches page %d outside its %d pages",
+			st.enc.Name, st.seen-1, acc.Page, st.enc.Pages)
+	}
+	page := st.base + acc.Page
+
+	st.t += acc.Compute
+	st.res.ComputeCycles += acc.Compute
+	st.res.Accesses++
+	st.kern.MaybeScan(st.t)
+	st.kern.Sync(st.t)
+
+	if acc.Prefetch {
+		// Oracle-inserted early notification: check the bitmap, post an
+		// asynchronous load if absent, continue without waiting.
+		st.t += costs.BitmapCheck
+		st.res.PrefetchChecks++
+		if !st.bitmap.Get(uint64(page)) {
+			st.t += costs.Notify
+			st.kern.QueuePrefetch(st.t, page)
+			st.res.PrefetchIssued++
+		}
+		st.res.Accesses--
+		return nil
+	}
+
+	if st.sel.Instrumented(acc.Site) {
+		// SIP: BIT_MAP_CHECK before the access.
+		st.t += costs.BitmapCheck
+		st.res.SIPChecks++
+		if st.bitmap.Get(uint64(page)) {
+			st.res.SIPPresent++
+		} else {
+			// Absent: notify the kernel preload thread and wait for the
+			// load without leaving the enclave.
+			st.t += costs.Notify
+			st.t = st.kern.NotifyLoad(st.t, page)
+		}
+	}
+
+	if st.kern.Touch(page) {
+		st.res.Hits++
+		st.t += costs.Hit
+		return nil
+	}
+	st.t = st.kern.HandleFault(st.t, page)
+	st.t += costs.Hit
+	return nil
+}

@@ -7,7 +7,8 @@ import (
 )
 
 // FuzzEngine feeds arbitrary byte-derived traces through every scheme: no
-// panic, exact access conservation, monotone time.
+// panic, exact access conservation, monotone time, and the pull-based
+// iterator path produces the identical Result.
 func FuzzEngine(f *testing.F) {
 	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, uint8(1))
 	f.Add([]byte{0}, uint8(0))
@@ -44,6 +45,14 @@ func FuzzEngine(f *testing.F) {
 		}
 		if res.Cycles < res.ComputeCycles {
 			t.Fatalf("cycles %d < compute %d", res.Cycles, res.ComputeCycles)
+		}
+		streamed, err := RunStream(funcStream(trace), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if streamed != res {
+			t.Fatalf("iterator path diverges from slice path:\n  slice  %+v\n  stream %+v",
+				res, streamed)
 		}
 	})
 }

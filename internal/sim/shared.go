@@ -3,10 +3,9 @@ package sim
 import (
 	"fmt"
 
-	"sgxpreload/internal/channel"
+	"sgxpreload/internal/core"
 	"sgxpreload/internal/dfp"
 	"sgxpreload/internal/epc"
-	"sgxpreload/internal/kernel"
 	"sgxpreload/internal/mem"
 	"sgxpreload/internal/obs"
 	"sgxpreload/internal/sip"
@@ -15,19 +14,29 @@ import (
 // Multi-enclave co-simulation. The paper's §5.6 observes that EPC sharing
 // among processes is supported by the hardware and that "each enclave can
 // handle its preloading independently... however, EPC contention becomes
-// a serious issue". This runner models exactly that: N enclaves, each
-// with its own fault history, preload queue, instrumentation, bitmap
-// view, and counters, contending for one physical EPC and one load
-// channel. Each enclave's virtual pages are mapped into a disjoint slice
-// of the shared page space.
+// a serious issue". RunShared models exactly that: N enclaves, each with
+// its own fault history, preload queue, instrumentation, bitmap view,
+// and counters, contending for one physical EPC and one load channel.
+// Each enclave's virtual pages are mapped into a disjoint slice of the
+// shared page space.
+//
+// RunShared is a wrapper over the same Engine that backs Run, so every
+// single-enclave configuration knob — the predictor strategy, DFP
+// tunables, SIP selection, background reclaim — is available per
+// enclave under contention.
 
 // Enclave describes one co-running enclave.
 type Enclave struct {
 	// Name labels the enclave in results.
 	Name string
-	// Trace is the enclave's access trace (pages relative to its own
-	// ELRANGE, i.e. starting at 0).
+	// Trace is the enclave's materialized access trace (pages relative to
+	// its own ELRANGE, i.e. starting at 0). When non-nil it takes
+	// precedence over Stream.
 	Trace []mem.Access
+	// Stream is the enclave's pull-based access source, consumed one
+	// access at a time in O(1) memory; used when Trace is nil. Pages are
+	// relative to the enclave's ELRANGE, like Trace.
+	Stream mem.Stream
 	// Pages is the enclave's ELRANGE size; every trace page must be
 	// below it.
 	Pages uint64
@@ -37,6 +46,13 @@ type Enclave struct {
 	DFP dfp.Config
 	// Selection carries the enclave's SIP instrumentation sites.
 	Selection *sip.Selection
+	// Predictor selects the fault-history strategy for DFP-style
+	// schemes; the zero value is the paper's multiple-stream recognizer.
+	Predictor core.Kind
+	// BackgroundReclaim enables this enclave's ksgxswapd-style watermark
+	// reclaimer (see kernel.Config); its write-back bursts occupy the
+	// shared channel.
+	BackgroundReclaim bool
 }
 
 // SharedConfig configures the shared platform.
@@ -62,147 +78,21 @@ type SharedResult struct {
 	Result
 }
 
-// enclaveState is the per-enclave execution cursor.
-type enclaveState struct {
-	enc    Enclave
-	kern   *kernel.Kernel
-	bitmap *epc.Bitmap
-	base   mem.PageID // offset of the enclave's range in shared space
-	idx    int        // next trace access
-	t      uint64     // enclave-local virtual clock
-	res    Result
-}
-
-// RunShared co-simulates the enclaves on one shared EPC. Enclaves advance
-// in global virtual-time order (the enclave with the smallest clock
-// executes its next access), so channel serialization and evictions
-// interleave exactly as a time-sliced platform would interleave them.
+// RunShared co-simulates the enclaves on one shared EPC: it builds the
+// Engine and drives it to completion. Enclaves advance in global
+// virtual-time order (the enclave with the smallest clock executes its
+// next access), so channel serialization and evictions interleave
+// exactly as a time-sliced platform would interleave them.
 func RunShared(enclaves []Enclave, cfg SharedConfig) ([]SharedResult, error) {
 	if len(enclaves) == 0 {
 		return nil, fmt.Errorf("sim: RunShared needs at least one enclave")
 	}
-	if cfg.Costs == (mem.CostModel{}) {
-		cfg.Costs = mem.DefaultCostModel()
-	}
-	if err := cfg.Costs.Validate(); err != nil {
-		return nil, err
-	}
-
-	var total uint64
-	for i, e := range enclaves {
-		if e.Pages == 0 {
-			return nil, fmt.Errorf("sim: enclave %d (%s) declares zero pages", i, e.Name)
-		}
-		total += e.Pages
-	}
-	shared, err := epc.NewWithPolicy(cfg.EPCPages, total, cfg.EvictPolicy)
+	eng, err := New(enclaves, cfg)
 	if err != nil {
 		return nil, err
 	}
-	channels := channel.NewGroup(len(enclaves))
-
-	states := make([]*enclaveState, len(enclaves))
-	var base mem.PageID
-	for i, e := range enclaves {
-		kcfg := kernel.Config{
-			Costs:        cfg.Costs,
-			EPCPages:     cfg.EPCPages,
-			ELRangePages: total,
-			ScanPeriod:   cfg.ScanPeriod,
-			MaxPending:   cfg.MaxPending,
-			RangeLo:      base,
-			RangeHi:      base + mem.PageID(e.Pages),
-			Hook:         cfg.Hook,
-		}
-		if e.Scheme.UsesDFP() {
-			d := e.DFP
-			if d.StreamListLen == 0 && d.LoadLength == 0 {
-				d = dfp.DefaultConfig()
-			}
-			if e.Scheme == DFPStop || e.Scheme == Hybrid {
-				d.Stop = true
-			}
-			kcfg.DFP = &d
-		}
-		k, err := kernel.NewShared(kcfg, shared, channels[i])
-		if err != nil {
-			return nil, fmt.Errorf("sim: enclave %s: %w", e.Name, err)
-		}
-		states[i] = &enclaveState{
-			enc:    e,
-			kern:   k,
-			bitmap: shared.PresenceBitmap(),
-			base:   base,
-			res:    Result{Scheme: e.Scheme},
-		}
-		base += mem.PageID(e.Pages)
+	if err := eng.run(); err != nil {
+		return nil, err
 	}
-
-	// Co-simulate: always advance the enclave with the smallest clock.
-	for {
-		var next *enclaveState
-		for _, st := range states {
-			if st.idx >= len(st.enc.Trace) {
-				continue
-			}
-			if next == nil || st.t+st.enc.Trace[st.idx].Compute < next.t+next.enc.Trace[next.idx].Compute {
-				next = st
-			}
-		}
-		if next == nil {
-			break
-		}
-		if err := next.step(cfg.Costs); err != nil {
-			return nil, err
-		}
-	}
-
-	out := make([]SharedResult, len(states))
-	for i, st := range states {
-		st.res.Cycles = st.t
-		st.res.Kernel = st.kern.Stats()
-		out[i] = SharedResult{Name: st.enc.Name, Result: st.res}
-	}
-	return out, nil
-}
-
-// step executes one access of the enclave's trace.
-func (st *enclaveState) step(costs mem.CostModel) error {
-	acc := st.enc.Trace[st.idx]
-	st.idx++
-	if uint64(acc.Page) >= st.enc.Pages {
-		return fmt.Errorf("sim: enclave %s access %d touches page %d outside its %d pages",
-			st.enc.Name, st.idx-1, acc.Page, st.enc.Pages)
-	}
-	page := st.base + acc.Page
-
-	st.t += acc.Compute
-	st.res.ComputeCycles += acc.Compute
-	st.res.Accesses++
-	st.kern.MaybeScan(st.t)
-	st.kern.Sync(st.t)
-
-	var sel *sip.Selection
-	if st.enc.Scheme.UsesSIP() {
-		sel = st.enc.Selection
-	}
-	if sel.Instrumented(acc.Site) {
-		st.t += costs.BitmapCheck
-		st.res.SIPChecks++
-		if st.bitmap.Get(uint64(page)) {
-			st.res.SIPPresent++
-		} else {
-			st.t += costs.Notify
-			st.t = st.kern.NotifyLoad(st.t, page)
-		}
-	}
-
-	if st.kern.Touch(page) {
-		st.res.Hits++
-		st.t += costs.Hit
-		return nil
-	}
-	st.t = st.kern.HandleFault(st.t, page)
-	st.t += costs.Hit
-	return nil
+	return eng.Results(), nil
 }

@@ -3,6 +3,7 @@ package sim
 import (
 	"testing"
 
+	"sgxpreload/internal/core"
 	"sgxpreload/internal/mem"
 	"sgxpreload/internal/workload"
 )
@@ -122,6 +123,73 @@ func TestRunSharedIsolatedCounters(t *testing.T) {
 	}
 	if byName["plain"].Kernel.PreloadsStarted != 0 {
 		t.Error("baseline enclave charged with preloads")
+	}
+}
+
+// Regression for the shared-engine knob drift: before the unification,
+// RunShared silently ignored Config.Predictor — an alternative-predictor
+// ablation under EPC contention quietly ran the default multistream
+// recognizer. A non-default predictor must now change the outcome.
+func TestRunSharedHonorsPredictor(t *testing.T) {
+	w, err := workload.ByName("deepsjeng")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := w.Generate(workload.Ref)
+	pages := w.ELRangePages()
+	run := func(kind core.Kind) []SharedResult {
+		res, err := RunShared([]Enclave{
+			{Name: "a", Trace: tr, Pages: pages, Scheme: DFP, Predictor: kind},
+			{Name: "b", Trace: tr, Pages: pages, Scheme: Baseline},
+		}, SharedConfig{EPCPages: 2048})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	def, nextn := run(""), run(core.KindNextN)
+	if def[0].Cycles == nextn[0].Cycles &&
+		def[0].Kernel.PreloadsStarted == nextn[0].Kernel.PreloadsStarted {
+		t.Errorf("next-N predictor indistinguishable from multistream under sharing: "+
+			"%d cycles / %d preloads both (the pre-unification drift)",
+			def[0].Cycles, def[0].Kernel.PreloadsStarted)
+	}
+	// The explicit default spelling must be the default.
+	if exp := run(core.KindMultiStream); exp[0] != def[0] {
+		t.Errorf("explicit multistream differs from default: %+v vs %+v", exp[0], def[0])
+	}
+	// A bogus kind must surface, not be ignored.
+	if _, err := RunShared([]Enclave{
+		{Name: "a", Trace: tr, Pages: pages, Scheme: DFP, Predictor: core.Kind("bogus")},
+	}, SharedConfig{EPCPages: 2048}); err == nil {
+		t.Error("unknown predictor kind accepted in a shared run")
+	}
+}
+
+// Regression for the second dropped knob: BackgroundReclaim is now wired
+// per enclave in shared runs.
+func TestRunSharedHonorsBackgroundReclaim(t *testing.T) {
+	tr := seqTrace(1500, 2, 30000)
+	run := func(reclaim bool) []SharedResult {
+		res, err := RunShared([]Enclave{
+			{Name: "a", Trace: tr, Pages: 2048, Scheme: Baseline, BackgroundReclaim: reclaim},
+			{Name: "b", Trace: tr, Pages: 2048, Scheme: Baseline},
+		}, SharedConfig{EPCPages: 1024})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	off, on := run(false), run(true)
+	if off[0].Kernel.BackgroundEvictions != 0 {
+		t.Errorf("reclaim off, yet %d background evictions", off[0].Kernel.BackgroundEvictions)
+	}
+	if on[0].Kernel.BackgroundEvictions == 0 {
+		t.Error("reclaim on, yet the enclave ran no background evictions (knob still dropped)")
+	}
+	if on[1].Kernel.BackgroundEvictions != 0 {
+		t.Errorf("reclaim enabled on enclave a only, but b ran %d background evictions",
+			on[1].Kernel.BackgroundEvictions)
 	}
 }
 

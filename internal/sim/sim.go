@@ -136,104 +136,64 @@ func (r Result) FaultCycles() uint64 {
 	return r.Kernel.AEXCycles + r.Kernel.LoadWaitCycles + r.Kernel.EresumeCycles
 }
 
-// Run executes the trace under cfg and returns the result.
+// solo converts a single-enclave Config into the engine's (enclave,
+// platform) split. The scheme wiring itself lives in buildState — this
+// is field plumbing only, so Run cannot drift from RunShared.
+func (cfg Config) solo() (Enclave, SharedConfig) {
+	return Enclave{
+			Pages:             cfg.ELRangePages,
+			Scheme:            cfg.Scheme,
+			DFP:               cfg.DFP,
+			Selection:         cfg.Selection,
+			Predictor:         cfg.Predictor,
+			BackgroundReclaim: cfg.BackgroundReclaim,
+		}, SharedConfig{
+			Costs:       cfg.Costs,
+			EPCPages:    cfg.EPCPages,
+			ScanPeriod:  cfg.ScanPeriod,
+			MaxPending:  cfg.MaxPending,
+			EvictPolicy: cfg.EvictPolicy,
+			Hook:        cfg.Hook,
+		}
+}
+
+// Run executes the trace under cfg and returns the result. It is the
+// one-enclave, materialized-trace case of the unified engine.
 func Run(trace []mem.Access, cfg Config) (Result, error) {
-	if cfg.Costs == (mem.CostModel{}) {
-		cfg.Costs = mem.DefaultCostModel()
-	}
-	if err := cfg.Costs.Validate(); err != nil {
-		return Result{}, err
-	}
 	if cfg.ELRangePages == 0 {
 		return Result{}, fmt.Errorf("sim: ELRangePages must be set")
 	}
-
-	kcfg := kernel.Config{
-		Costs:        cfg.Costs,
-		EPCPages:     cfg.EPCPages,
-		ELRangePages: cfg.ELRangePages,
-		ScanPeriod:   cfg.ScanPeriod,
-		MaxPending:   cfg.MaxPending,
-		EvictPolicy:  cfg.EvictPolicy,
-		Hook:         cfg.Hook,
-
-		BackgroundReclaim: cfg.BackgroundReclaim,
-	}
-	if cfg.Scheme.UsesDFP() {
-		d := cfg.DFP
-		if d.StreamListLen == 0 && d.LoadLength == 0 {
-			d = dfp.DefaultConfig()
-		}
-		if cfg.Scheme == DFPStop || cfg.Scheme == Hybrid {
-			d.Stop = true
-		}
-		if cfg.Predictor != "" && cfg.Predictor != core.KindMultiStream {
-			pred, err := core.NewPredictor(cfg.Predictor, d)
-			if err != nil {
-				return Result{}, err
-			}
-			kcfg.Predictor = pred
-		} else {
-			kcfg.DFP = &d
-		}
-	}
-	k, err := kernel.New(kcfg)
+	enc, scfg := cfg.solo()
+	enc.Trace = trace
+	eng, err := New([]Enclave{enc}, scfg)
 	if err != nil {
 		return Result{}, err
 	}
-
-	var sel *sip.Selection
-	if cfg.Scheme.UsesSIP() {
-		sel = cfg.Selection
+	if err := eng.run(); err != nil {
+		return Result{}, err
 	}
-	bitmap := k.EPC().PresenceBitmap()
+	return eng.Result(0).Result, nil
+}
 
-	res := Result{Scheme: cfg.Scheme}
-	var t uint64
-	for _, acc := range trace {
-		t += acc.Compute
-		res.ComputeCycles += acc.Compute
-		res.Accesses++
-		k.MaybeScan(t)
-		k.Sync(t)
-
-		if acc.Prefetch {
-			// Oracle-inserted early notification: check the bitmap, post
-			// an asynchronous load if absent, continue without waiting.
-			t += cfg.Costs.BitmapCheck
-			res.PrefetchChecks++
-			if !bitmap.Get(uint64(acc.Page)) {
-				t += cfg.Costs.Notify
-				k.QueuePrefetch(t, acc.Page)
-				res.PrefetchIssued++
-			}
-			res.Accesses--
-			continue
-		}
-
-		if sel.Instrumented(acc.Site) {
-			// SIP: BIT_MAP_CHECK before the access.
-			t += cfg.Costs.BitmapCheck
-			res.SIPChecks++
-			if bitmap.Get(uint64(acc.Page)) {
-				res.SIPPresent++
-			} else {
-				// Absent: notify the kernel preload thread and wait for
-				// the load without leaving the enclave.
-				t += cfg.Costs.Notify
-				t = k.NotifyLoad(t, acc.Page)
-			}
-		}
-
-		if k.Touch(acc.Page) {
-			res.Hits++
-			t += cfg.Costs.Hit
-			continue
-		}
-		t = k.HandleFault(t, acc.Page)
-		t += cfg.Costs.Hit
+// RunStream executes accesses pulled from src under cfg — Run without
+// ever materializing the trace. The engine looks one access ahead, so
+// peak memory is independent of trace length; src may be unbounded only
+// if the caller bounds it (mem.Limit) or drives the engine manually.
+func RunStream(src mem.Stream, cfg Config) (Result, error) {
+	if cfg.ELRangePages == 0 {
+		return Result{}, fmt.Errorf("sim: ELRangePages must be set")
 	}
-	res.Cycles = t
-	res.Kernel = k.Stats()
-	return res, nil
+	if src == nil {
+		return Result{}, fmt.Errorf("sim: RunStream needs a stream")
+	}
+	enc, scfg := cfg.solo()
+	enc.Stream = src
+	eng, err := New([]Enclave{enc}, scfg)
+	if err != nil {
+		return Result{}, err
+	}
+	if err := eng.run(); err != nil {
+		return Result{}, err
+	}
+	return eng.Result(0).Result, nil
 }

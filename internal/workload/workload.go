@@ -19,6 +19,7 @@ package workload
 
 import (
 	"fmt"
+	"iter"
 	"sort"
 
 	"sgxpreload/internal/mem"
@@ -109,12 +110,65 @@ type Workload struct {
 // ELRangePages returns the enclave virtual range the workload needs.
 func (w *Workload) ELRangePages() uint64 { return w.FootprintPages + 16 }
 
-// Generate produces the full access trace for the given input.
+// Generate produces the full access trace for the given input — the
+// materialized adapter over the same generator Stream pulls from.
 func (w *Workload) Generate(in Input) []mem.Access {
 	b := &builder{r: rng.New(seed(w.Name, in))}
 	w.gen(in, b)
 	return b.out
 }
+
+// Stream returns a pull-based source producing exactly the accesses
+// Generate(in) materializes, one at a time, in O(1) memory: the push-
+// style generator runs as a coroutine (iter.Pull) that is suspended
+// between accesses, so arbitrarily long traces never exist as a slice.
+// The stream is exhausted-or-Closed: draining it to the end releases the
+// coroutine, and Close releases it early (an abandoned engine run).
+func (w *Workload) Stream(in Input) mem.Stream {
+	next, stop := iter.Pull(func(yield func(mem.Access) bool) {
+		defer func() {
+			// A consumer that stops early unwinds the generator via the
+			// stopGen panic emit raises; anything else propagates.
+			if r := recover(); r != nil {
+				if _, ok := r.(stopGen); !ok {
+					panic(r)
+				}
+			}
+		}()
+		b := &builder{r: rng.New(seed(w.Name, in)), yield: yield}
+		w.gen(in, b)
+	})
+	return &genStream{next: next, stop: stop}
+}
+
+// genStream adapts an iter.Pull coroutine to mem.Stream.
+type genStream struct {
+	next func() (mem.Access, bool)
+	stop func()
+	done bool
+}
+
+func (s *genStream) Next() (mem.Access, bool) {
+	if s.done {
+		return mem.Access{}, false
+	}
+	a, ok := s.next()
+	if !ok {
+		s.done = true
+		s.stop()
+	}
+	return a, ok
+}
+
+// Close releases the generator coroutine; safe to call repeatedly and
+// after exhaustion.
+func (s *genStream) Close() {
+	s.done = true
+	s.stop()
+}
+
+// stopGen unwinds a generator whose consumer stopped pulling.
+type stopGen struct{}
 
 // seed derives a deterministic per-(workload, input) seed.
 func seed(name string, in Input) uint64 {
@@ -127,20 +181,34 @@ func seed(name string, in Input) uint64 {
 	return h ^ (uint64(in+1) * 0x9e3779b97f4a7c15)
 }
 
-// builder accumulates the access trace.
+// builder is the generators' output sink. In materializing mode (yield
+// nil) it accumulates the trace in out; in streaming mode each access is
+// yielded to the pulling consumer and never stored.
 type builder struct {
-	r   *rng.Source
-	out []mem.Access
+	r     *rng.Source
+	out   []mem.Access
+	yield func(mem.Access) bool
+}
+
+// push hands one access to the active sink.
+func (b *builder) push(a mem.Access) {
+	if b.yield != nil {
+		if !b.yield(a) {
+			panic(stopGen{})
+		}
+		return
+	}
+	b.out = append(b.out, a)
 }
 
 // emit appends one access.
 func (b *builder) emit(site mem.SiteID, page mem.PageID, compute uint64) {
-	b.out = append(b.out, mem.Access{Site: site, Page: page, Compute: compute})
+	b.push(mem.Access{Site: site, Page: page, Compute: compute})
 }
 
 // emitW appends one write access.
 func (b *builder) emitW(site mem.SiteID, page mem.PageID, compute uint64) {
-	b.out = append(b.out, mem.Access{Site: site, Page: page, Compute: compute, Write: true})
+	b.push(mem.Access{Site: site, Page: page, Compute: compute, Write: true})
 }
 
 // registry holds every modeled benchmark, keyed by paper name.

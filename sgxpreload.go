@@ -242,17 +242,7 @@ func RunInput(w Workload, in Input, cfg Config) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	return Result{
-		Scheme:          Scheme(res.Scheme),
-		Cycles:          res.Cycles,
-		Accesses:        res.Accesses,
-		Hits:            res.Hits,
-		Faults:          res.Kernel.DemandFaults,
-		PreloadsStarted: res.Kernel.PreloadsStarted,
-		PreloadsDropped: res.Kernel.PreloadsDropped,
-		NotifyLoads:     res.Kernel.NotifyLoads,
-		StopFired:       res.Kernel.DFPStopped,
-	}, nil
+	return resultFromSim(res), nil
 }
 
 // Profile runs the workload's Train input through the SIP classifier and

@@ -3,6 +3,7 @@ package sgxpreload
 import (
 	"fmt"
 
+	"sgxpreload/internal/core"
 	"sgxpreload/internal/sim"
 )
 
@@ -21,6 +22,13 @@ type EnclaveSpec struct {
 	Selection *Selection
 	// DFP overrides the predictor tunables (zero value = paper defaults).
 	DFP DFPConfig
+	// Predictor names this enclave's fault-history strategy for DFP-style
+	// schemes: "multistream" (the paper's recognizer, also the default ""),
+	// "stride", "markov", or "nextn". Unknown names fail the run.
+	Predictor string
+	// BackgroundReclaim enables this enclave's ksgxswapd-style watermark
+	// reclaimer; its write-back bursts occupy the shared load channel.
+	BackgroundReclaim bool
 }
 
 // SharedResult is one enclave's outcome of a shared run.
@@ -49,11 +57,13 @@ func RunShared(enclaves []EnclaveSpec, cfg Config) ([]SharedResult, error) {
 			return nil, err
 		}
 		specs[i] = sim.Enclave{
-			Name:   e.Workload.Name(),
-			Trace:  trace,
-			Pages:  e.Workload.Pages(),
-			Scheme: sim.Scheme(e.Scheme),
-			DFP:    dfpFromPublic(e.DFP),
+			Name:              e.Workload.Name(),
+			Trace:             trace,
+			Pages:             e.Workload.Pages(),
+			Scheme:            sim.Scheme(e.Scheme),
+			DFP:               dfpFromPublic(e.DFP),
+			Predictor:         core.Kind(e.Predictor),
+			BackgroundReclaim: e.BackgroundReclaim,
 		}
 		if e.Selection != nil {
 			specs[i].Selection = e.Selection.sel
@@ -68,20 +78,7 @@ func RunShared(enclaves []EnclaveSpec, cfg Config) ([]SharedResult, error) {
 	}
 	out := make([]SharedResult, len(res))
 	for i, r := range res {
-		out[i] = SharedResult{
-			Name: r.Name,
-			Result: Result{
-				Scheme:          Scheme(r.Scheme),
-				Cycles:          r.Cycles,
-				Accesses:        r.Accesses,
-				Hits:            r.Hits,
-				Faults:          r.Kernel.DemandFaults,
-				PreloadsStarted: r.Kernel.PreloadsStarted,
-				PreloadsDropped: r.Kernel.PreloadsDropped,
-				NotifyLoads:     r.Kernel.NotifyLoads,
-				StopFired:       r.Kernel.DFPStopped,
-			},
-		}
+		out[i] = SharedResult{Name: r.Name, Result: resultFromSim(r.Result)}
 	}
 	return out, nil
 }

@@ -1,0 +1,154 @@
+package sgxpreload
+
+import (
+	"fmt"
+
+	"sgxpreload/internal/mem"
+	"sgxpreload/internal/sim"
+	"sgxpreload/internal/workload"
+)
+
+// Streaming API. Run materializes the whole trace before simulating;
+// RunStream instead pulls accesses one at a time, so peak memory is
+// independent of trace length — hour-long or synthetic unbounded
+// workloads simulate in O(1) space. Built-in benchmarks stream via
+// Stream (their generators run as suspended coroutines); custom
+// workloads implement Streamer or hand any AccessStream to RunStream.
+
+// AccessStream is a pull-based access source: Next returns the next
+// access, or ok=false when the trace is exhausted. Implementations need
+// not be restartable; obtain a fresh stream per run.
+type AccessStream interface {
+	Next() (Access, bool)
+}
+
+// Streamer is optionally implemented by workloads that can produce
+// their trace incrementally instead of materializing it. Built-in
+// benchmarks implement it.
+type Streamer interface {
+	// Stream returns a fresh pull-based source over the same accesses
+	// Trace(in) would return.
+	Stream(in Input) AccessStream
+}
+
+// StreamFunc adapts a function to AccessStream.
+type StreamFunc func() (Access, bool)
+
+// Next implements AccessStream.
+func (f StreamFunc) Next() (Access, bool) { return f() }
+
+// LimitStream caps src at n accesses — the standard way to bound an
+// unbounded generator for a finite run.
+func LimitStream(src AccessStream, n uint64) AccessStream {
+	var seen uint64
+	return StreamFunc(func() (Access, bool) {
+		if seen >= n {
+			return Access{}, false
+		}
+		a, ok := src.Next()
+		if ok {
+			seen++
+		}
+		return a, ok
+	})
+}
+
+// RunStream replays accesses pulled from src under cfg, on an enclave of
+// the given virtual range. Accesses outside the range fail the run, as
+// with a materialized workload trace. The engine looks one access ahead;
+// everything else about the simulation — scheme wiring, cost model,
+// results — is identical to Run.
+func RunStream(src AccessStream, pages uint64, cfg Config) (Result, error) {
+	if src == nil {
+		return Result{}, fmt.Errorf("sgxpreload: RunStream needs a stream")
+	}
+	if pages == 0 {
+		return Result{}, fmt.Errorf("sgxpreload: RunStream needs the enclave page range")
+	}
+	cfg = cfg.normalize()
+	scfg := sim.Config{
+		Scheme:       sim.Scheme(cfg.Scheme),
+		Costs:        cfg.Costs,
+		EPCPages:     cfg.EPCPages,
+		ELRangePages: pages,
+		DFP:          cfg.dfpConfig(),
+	}
+	if cfg.Selection != nil {
+		scfg.Selection = cfg.Selection.sel
+	}
+	res, err := sim.RunStream(toInternalStream(src), scfg)
+	if err != nil {
+		return Result{}, err
+	}
+	return resultFromSim(res), nil
+}
+
+// RunWorkloadStream replays the workload's input through the streaming
+// engine: the Streamer path when the workload implements it, and a
+// slice-backed stream over Trace(in) otherwise (correct, but without the
+// memory benefit).
+func RunWorkloadStream(w Workload, in Input, cfg Config) (Result, error) {
+	if s, ok := w.(Streamer); ok {
+		return RunStream(s.Stream(in), w.Pages(), cfg)
+	}
+	accs := w.Trace(in)
+	i := 0
+	return RunStream(StreamFunc(func() (Access, bool) {
+		if i >= len(accs) {
+			return Access{}, false
+		}
+		a := accs[i]
+		i++
+		return a, true
+	}), w.Pages(), cfg)
+}
+
+// toInternalStream converts public accesses on the fly; bounds are
+// checked by the engine at execution time.
+func toInternalStream(src AccessStream) mem.Stream {
+	return mem.StreamFunc(func() (mem.Access, bool) {
+		a, ok := src.Next()
+		if !ok {
+			return mem.Access{}, false
+		}
+		return mem.Access{
+			Site:    mem.SiteID(a.Site),
+			Page:    mem.PageID(a.Page),
+			Compute: a.Compute,
+			Write:   a.Write,
+		}, true
+	})
+}
+
+// resultFromSim converts an internal result to the public form.
+func resultFromSim(res sim.Result) Result {
+	return Result{
+		Scheme:          Scheme(res.Scheme),
+		Cycles:          res.Cycles,
+		Accesses:        res.Accesses,
+		Hits:            res.Hits,
+		Faults:          res.Kernel.DemandFaults,
+		PreloadsStarted: res.Kernel.PreloadsStarted,
+		PreloadsDropped: res.Kernel.PreloadsDropped,
+		NotifyLoads:     res.Kernel.NotifyLoads,
+		StopFired:       res.Kernel.DFPStopped,
+	}
+}
+
+// Stream implements Streamer for built-in benchmarks: the workload
+// generator runs as a coroutine suspended between accesses.
+func (b builtin) Stream(in Input) AccessStream {
+	src := b.w.Stream(workload.Input(in))
+	return StreamFunc(func() (Access, bool) {
+		a, ok := src.Next()
+		if !ok {
+			return Access{}, false
+		}
+		return Access{
+			Site:    uint32(a.Site),
+			Page:    uint64(a.Page),
+			Compute: a.Compute,
+			Write:   a.Write,
+		}, true
+	})
+}
