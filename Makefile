@@ -33,7 +33,7 @@ bench-micro:
 bench-json:
 	{ $(GO) test ./internal/channel/ ./internal/epc/ ./internal/kernel/ \
 		-run '^$$' -bench '$(BENCH_MICRO)' -benchmem ; \
-	  $(GO) test ./internal/sim/ -run '^$$' -bench 'BenchmarkRunStream' -benchmem ; \
+	  $(GO) test ./internal/sim/ -run '^$$' -bench 'BenchmarkRunStream|BenchmarkStep' -benchmem ; \
 	  $(GO) test ./internal/experiments/ -run '^$$' -bench 'BenchmarkRunAll' -benchtime 2x ; } \
 	| $(GO) run ./cmd/benchjson -baseline BENCH_engine.json -out BENCH_engine.json
 

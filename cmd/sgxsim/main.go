@@ -14,6 +14,9 @@
 //	sgxsim -bench lbm -scheme dfp -serve :8080  # live /metrics, /events, /report
 //	sgxsim -bench lbm -scheme dfp -stream       # O(1)-memory streamed run
 //	sgxsim -bench lbm -stream -repeat 0 -serve :8080  # unbounded, watch live
+//	sgxsim -bench lbm,deepsjeng -scheme dfp     # shared-EPC co-run
+//	sgxsim -stream -bench lbm,deepsjeng -scheme dfp-stop  # streamed co-run
+//	sgxsim -bench lbm,mcf,deepsjeng,x264 -shards 2  # fleet: 2 EPC domains
 //	sgxsim -list
 //
 // See OBSERVABILITY.md for the trace schema and the replay/diff/serve
@@ -53,7 +56,8 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("sgxsim", flag.ContinueOnError)
 	var (
-		bench      = fs.String("bench", "microbenchmark", "benchmark name (-list to enumerate)")
+		bench      = fs.String("bench", "microbenchmark", "benchmark name, or a comma-separated list for a shared-EPC co-run (-list to enumerate)")
+		shards     = fs.Int("shards", 1, "with a multi-benchmark -bench list, split the enclaves round-robin over this many independent EPC domains simulated in parallel")
 		scheme     = fs.String("scheme", "baseline", "baseline | dfp | dfp-stop | sip | hybrid")
 		epcPages   = fs.Int("epc", 2048, "EPC capacity in 4KiB pages")
 		listLen    = fs.Int("streamlist", 30, "DFP stream_list length")
@@ -93,10 +97,6 @@ func run(args []string, out io.Writer) error {
 		return nil
 	}
 
-	w, err := workload.ByName(*bench)
-	if err != nil {
-		return err
-	}
 	if *repeat < 0 {
 		return fmt.Errorf("-repeat must be >= 0, got %d", *repeat)
 	}
@@ -140,6 +140,36 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("unknown eviction policy %q", *policy)
 	}
 
+	// A comma-separated -bench list (or an explicit -shards) is a
+	// multi-enclave run: every benchmark becomes one enclave, co-running
+	// on shared EPC domains, streamed or materialized exactly like the
+	// single-bench path.
+	if names := strings.Split(*bench, ","); len(names) > 1 || *shards != 1 {
+		if *compare {
+			return fmt.Errorf("-compare applies to single-benchmark runs")
+		}
+		return runFleet(names, fleetOpts{
+			scheme:     sch,
+			dfp:        d,
+			predictor:  core.Kind(strings.ToLower(*predictor)),
+			policy:     pol,
+			epcPages:   *epcPages,
+			shards:     *shards,
+			stream:     *streamMode,
+			repeat:     *repeat,
+			reclaim:    *reclaim,
+			threshold:  *threshold,
+			tracePath:  *tracePath,
+			metricsOut: *metricsOut,
+			serveAddr:  *serveAddr,
+		}, out)
+	}
+
+	w, err := workload.ByName(*bench)
+	if err != nil {
+		return err
+	}
+
 	cfg := sim.Config{
 		Scheme:            sch,
 		EPCPages:          *epcPages,
@@ -150,26 +180,10 @@ func run(args []string, out io.Writer) error {
 		BackgroundReclaim: *reclaim,
 	}
 	if sch.UsesSIP() {
-		if !w.Instrumentable {
-			return fmt.Errorf("%s cannot be instrumented (%s)", w.Name, w.Language)
-		}
-		cl, err := sip.NewClassifier(*epcPages, w.ELRangePages(), d)
+		sel, err := buildSelection(w, *epcPages, d, *threshold, *streamMode)
 		if err != nil {
 			return err
 		}
-		if *streamMode {
-			// Stream the profiling pass too: the train trace never exists
-			// as a slice either.
-			src := w.Stream(workload.Train)
-			for a, ok := src.Next(); ok; a, ok = src.Next() {
-				cl.Record(a.Site, a.Page)
-			}
-		} else {
-			for _, a := range w.Generate(workload.Train) {
-				cl.Record(a.Site, a.Page)
-			}
-		}
-		sel := sip.Select(cl.Profile(), *threshold, 32)
 		cfg.Selection = sel
 		fmt.Fprintf(out, "SIP profile: %d instrumentation points at threshold %.0f%%\n",
 			sel.Points(), *threshold*100)
@@ -267,6 +281,151 @@ func run(args []string, out io.Writer) error {
 				return err
 			}
 			fmt.Fprintf(out, "metrics:          %s\n", *metricsOut)
+		}
+	}
+	return nil
+}
+
+// buildSelection profiles the workload's Train input and selects SIP
+// instrumentation sites; with streamed set, the profiling pass pulls
+// the train trace access-by-access so it never exists as a slice.
+func buildSelection(w *workload.Workload, epcPages int, d dfp.Config, threshold float64, streamed bool) (*sip.Selection, error) {
+	if !w.Instrumentable {
+		return nil, fmt.Errorf("%s cannot be instrumented (%s)", w.Name, w.Language)
+	}
+	cl, err := sip.NewClassifier(epcPages, w.ELRangePages(), d)
+	if err != nil {
+		return nil, err
+	}
+	if streamed {
+		src := w.Stream(workload.Train)
+		for a, ok := src.Next(); ok; a, ok = src.Next() {
+			cl.Record(a.Site, a.Page)
+		}
+	} else {
+		for _, a := range w.Generate(workload.Train) {
+			cl.Record(a.Site, a.Page)
+		}
+	}
+	return sip.Select(cl.Profile(), threshold, 32), nil
+}
+
+// fleetOpts carries the flag values of a multi-enclave run.
+type fleetOpts struct {
+	scheme     sim.Scheme
+	dfp        dfp.Config
+	predictor  core.Kind
+	policy     epc.Policy
+	epcPages   int
+	shards     int
+	stream     bool
+	repeat     int
+	reclaim    bool
+	threshold  float64
+	tracePath  string
+	metricsOut string
+	serveAddr  string
+}
+
+// runFleet co-simulates one enclave per benchmark name over o.shards
+// independent EPC domains (round-robin placement, o.epcPages frames per
+// domain) and prints a per-enclave result table. Shards simulate on
+// worker goroutines with a deterministic merge, so the table is
+// identical at any parallelism; a one-shard run is byte-identical to
+// the plain shared-EPC engine. Tracing and live serving attach the
+// hook at engine level, so they are limited to single-shard runs.
+func runFleet(names []string, o fleetOpts, out io.Writer) error {
+	if o.shards < 1 {
+		return fmt.Errorf("-shards must be >= 1, got %d", o.shards)
+	}
+	hooked := o.tracePath != "" || o.metricsOut != "" || o.serveAddr != ""
+	if hooked && o.shards > 1 {
+		return fmt.Errorf("-trace/-metrics-out/-serve record one engine's timeline; use -shards 1")
+	}
+	encs := make([]sim.Enclave, len(names))
+	for i, name := range names {
+		w, err := workload.ByName(strings.TrimSpace(name))
+		if err != nil {
+			return err
+		}
+		enc := sim.Enclave{
+			Name:              w.Name,
+			Pages:             w.ELRangePages(),
+			Scheme:            o.scheme,
+			DFP:               o.dfp,
+			Predictor:         o.predictor,
+			BackgroundReclaim: o.reclaim,
+		}
+		if o.scheme.UsesSIP() {
+			sel, err := buildSelection(w, o.epcPages, o.dfp, o.threshold, o.stream)
+			if err != nil {
+				return err
+			}
+			enc.Selection = sel
+			fmt.Fprintf(out, "SIP profile (%s):  %d instrumentation points at threshold %.0f%%\n",
+				w.Name, sel.Points(), o.threshold*100)
+		}
+		if o.stream {
+			enc.Stream = repeatStream(w, o.repeat)
+		} else {
+			enc.Trace = w.Generate(workload.Ref)
+		}
+		encs[i] = enc
+	}
+	groups := sim.ShardRoundRobin(encs, o.shards)
+	scfg := sim.SharedConfig{EPCPages: o.epcPages, EvictPolicy: o.policy}
+
+	var rec *obs.Recorder
+	var hooks []obs.Hook
+	if o.tracePath != "" || o.metricsOut != "" {
+		rec = obs.NewRecorder()
+		hooks = append(hooks, rec)
+	}
+	if o.serveAddr != "" {
+		ring := obs.NewRing(0)
+		hooks = append(hooks, ring)
+		stop, err := serveMetrics(o.serveAddr, ring, out)
+		if err != nil {
+			return err
+		}
+		defer stop()
+	}
+	if len(hooks) > 0 {
+		scfg.Hook = obs.Tee(hooks...)
+	}
+
+	results, err := sim.RunSharded(groups, scfg, 0)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "fleet:            %d enclaves over %d shard(s), EPC %d pages per shard, scheme %s\n",
+		len(encs), len(groups), o.epcPages, o.scheme)
+	tbl := &stats.Table{Header: []string{
+		"shard", "enclave", "cycles", "accesses", "hits", "faults", "preloads", "fault-cycles",
+	}}
+	for s, shard := range results {
+		for _, r := range shard {
+			tbl.Add(s, r.Name, r.Cycles, r.Accesses, r.Hits, r.Kernel.DemandFaults,
+				r.Kernel.PreloadsStarted,
+				fmt.Sprintf("%.1f%%", 100*float64(r.FaultCycles())/float64(r.Cycles)))
+		}
+	}
+	fmt.Fprint(out, tbl.String())
+
+	if rec != nil {
+		if o.tracePath != "" {
+			if err := writeTrace(rec, o.tracePath); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "trace:            %d events -> %s\n", rec.Len(), o.tracePath)
+		}
+		if o.metricsOut != "" {
+			title := fmt.Sprintf("fleet of %d / %s", len(encs), o.scheme)
+			if err := writeMetrics(rec, title, o.metricsOut); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "metrics:          %s\n", o.metricsOut)
 		}
 	}
 	return nil

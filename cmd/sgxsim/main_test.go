@@ -349,3 +349,80 @@ func TestStreamFlagErrors(t *testing.T) {
 		}
 	}
 }
+
+func TestMultiBenchSharedEPC(t *testing.T) {
+	// The carry-over fix: -stream -bench a,b must run a shared-EPC
+	// co-simulation, and must not change a byte versus the same
+	// multi-enclave run materialized.
+	mk := func(extra ...string) string {
+		var buf strings.Builder
+		args := append([]string{"-bench", "lbm,deepsjeng", "-scheme", "dfp-stop"}, extra...)
+		if err := run(args, &buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	mat, str := mk(), mk("-stream")
+	for _, want := range []string{"lbm", "deepsjeng", "fleet:", "2 enclaves over 1 shard"} {
+		if !strings.Contains(mat, want) {
+			t.Errorf("multi-bench output missing %q:\n%s", want, mat)
+		}
+	}
+	if mat != str {
+		t.Errorf("-stream changed the multi-bench report:\n--- materialized\n%s--- streamed\n%s", mat, str)
+	}
+}
+
+func TestFleetShards(t *testing.T) {
+	mk := func() string {
+		var buf strings.Builder
+		args := []string{"-bench", "lbm,mcf,deepsjeng,microbenchmark", "-scheme", "dfp", "-shards", "2"}
+		if err := run(args, &buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	out := mk()
+	for _, want := range []string{"4 enclaves over 2 shard(s)", "lbm", "mcf", "deepsjeng", "microbenchmark"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fleet output missing %q:\n%s", want, out)
+		}
+	}
+	// Shards simulate on worker goroutines; the merged table must be
+	// deterministic run to run.
+	if again := mk(); again != out {
+		t.Errorf("sharded fleet output is not deterministic:\n--- first\n%s--- second\n%s", out, again)
+	}
+}
+
+func TestFleetFlagErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-bench", "lbm,deepsjeng", "-compare"},                      // compare is single-bench
+		{"-bench", "lbm,deepsjeng", "-shards", "0"},                  // invalid shard count
+		{"-bench", "lbm,mcf", "-shards", "2", "-trace", "x.jsonl"},   // hook needs one shard
+		{"-bench", "lbm,nope"},                                       // unknown member
+		{"-bench", "lbm,bwaves", "-scheme", "sip"},                   // uninstrumentable member
+	} {
+		var buf strings.Builder
+		if err := run(args, &buf); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+func TestFleetTraceSingleShard(t *testing.T) {
+	// A one-shard fleet run records a normal engine timeline.
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "fleet.jsonl")
+	var buf strings.Builder
+	args := []string{"-bench", "lbm,deepsjeng", "-scheme", "dfp-stop", "-trace", tracePath}
+	if err := run(args, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "trace:") {
+		t.Fatalf("no trace line in:\n%s", buf.String())
+	}
+	if fi, err := os.Stat(tracePath); err != nil || fi.Size() == 0 {
+		t.Fatalf("fleet trace missing or empty: %v", err)
+	}
+}

@@ -115,6 +115,17 @@ func (c *Channel) Inflight() (Load, bool) {
 	return c.srv.inflight, true
 }
 
+// InflightDone returns the completion time of the transfer in flight.
+// It is Inflight for the kernel's per-access sync check: that path only
+// ever needs Done, and skipping the Load copy matters at fleet-scale
+// step rates.
+func (c *Channel) InflightDone() (uint64, bool) {
+	if !c.srv.busy {
+		return 0, false
+	}
+	return c.srv.inflight.Done, true
+}
+
 // InflightPage returns the page of the in-progress load, or mem.NoPage.
 func (c *Channel) InflightPage() mem.PageID {
 	if !c.srv.busy {

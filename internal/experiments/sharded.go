@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"fmt"
+
+	"sgxpreload/internal/sim"
+	"sgxpreload/internal/stats"
+	"sgxpreload/internal/workload"
+)
+
+// The sharded-fleet study: the same enclave population simulated over a
+// varying number of independent EPC domains. One shard is the paper's
+// §5.6 regime taken to fleet scale — every enclave contending for one
+// physical EPC; at shards == enclaves every enclave runs isolated, the
+// solo reference. The settings in between are what a multi-host
+// deployment looks like, and the sweep quantifies how much of the
+// contention slowdown each added EPC domain buys back. Shards simulate
+// on the runner's worker pool via sim.RunSharded; the table is
+// byte-identical at any parallelism.
+
+// shardedFleetBenches is the fleet's composition: two regular, one
+// irregular, one fault-dominated benchmark, replicated twice — eight
+// enclaves with heterogeneous footprints and access patterns.
+var shardedFleetBenches = []string{
+	"lbm", "deepsjeng", "mcf", "microbenchmark",
+	"lbm", "deepsjeng", "mcf", "microbenchmark",
+}
+
+// ShardedFleetResult holds per-enclave cycles at each shard setting,
+// re-ordered back to fleet (placement) order so settings are
+// comparable row by row.
+type ShardedFleetResult struct {
+	Names  []string   // enclave names in fleet order
+	Shards []int      // shard settings swept
+	Cycles [][]uint64 // [setting][enclave in fleet order]
+	Faults []uint64   // [setting] total demand faults
+}
+
+// ShardedFleet sweeps the eight-enclave fleet over 1, 2, 4, and 8 EPC
+// domains. Each domain has the runner's EPCPages frames, every enclave
+// runs DFP-stop, and placement is the sharded runner's deterministic
+// round-robin.
+func ShardedFleet(r *Runner) (ShardedFleetResult, error) {
+	out := ShardedFleetResult{Shards: []int{1, 2, 4, 8}}
+	encs := make([]sim.Enclave, len(shardedFleetBenches))
+	for i, name := range shardedFleetBenches {
+		w, err := mustWorkload(name)
+		if err != nil {
+			return out, err
+		}
+		encs[i] = sim.Enclave{
+			Name:   fmt.Sprintf("%s/%d", name, i/4),
+			Trace:  r.Trace(w, workload.Ref),
+			Pages:  w.ELRangePages(),
+			Scheme: sim.DFPStop,
+		}
+		out.Names = append(out.Names, encs[i].Name)
+	}
+	for _, shards := range out.Shards {
+		groups := sim.ShardRoundRobin(encs, shards)
+		res, err := sim.RunSharded(groups, sim.SharedConfig{EPCPages: r.p.EPCPages}, r.workers)
+		if err != nil {
+			return out, err
+		}
+		// Round-robin placement put fleet index i into group[i%S][i/S];
+		// invert it so every setting's row is in fleet order.
+		cycles := make([]uint64, len(encs))
+		var faults uint64
+		for s, shard := range res {
+			for j, sr := range shard {
+				cycles[s+j*shards] = sr.Cycles
+				faults += sr.Kernel.DemandFaults
+			}
+		}
+		out.Cycles = append(out.Cycles, cycles)
+		out.Faults = append(out.Faults, faults)
+	}
+	return out, nil
+}
+
+// String renders the sweep: per shard setting, the fleet's total and
+// worst per-enclave slowdown versus the fully isolated run (shards ==
+// enclaves), plus total demand faults.
+func (a ShardedFleetResult) String() string {
+	t := &stats.Table{Header: []string{"shards", "sum cycles", "mean slowdown", "max slowdown", "faults"}}
+	iso := a.Cycles[len(a.Cycles)-1] // shards == enclaves: every enclave isolated
+	for si, shards := range a.Shards {
+		var sum uint64
+		var worst, mean float64
+		for i, c := range a.Cycles[si] {
+			sum += c
+			slow := stats.Normalized(c, iso[i])
+			mean += slow
+			if slow > worst {
+				worst = slow
+			}
+		}
+		mean /= float64(len(iso))
+		t.Add(shards, sum, fmt.Sprintf("%.2fx", mean), fmt.Sprintf("%.2fx", worst), a.Faults[si])
+	}
+	return fmt.Sprintf("Fleet: %d enclaves over independent EPC domains (sharded runner)\n", len(a.Names)) +
+		t.String()
+}

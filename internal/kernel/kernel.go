@@ -237,8 +237,8 @@ func (k *Kernel) Stats() Stats { return k.stats }
 // whose transfer could begin strictly before now.
 func (k *Kernel) Sync(now uint64) {
 	for {
-		if ld, ok := k.ch.Inflight(); ok {
-			if ld.Done > now {
+		if done, ok := k.ch.InflightDone(); ok {
+			if done > now {
 				return
 			}
 			k.complete(k.ch.CompleteInflight())

@@ -221,6 +221,7 @@ var seedGolden = map[string]string{
 	"run/microbenchmark/SIP+DFP":              "855c1a2eec493040c2e242051610842111b77aa8459522a6dc25553ec8910839",
 	"shared/lbm:DFP-stop+deepsjeng:baseline":  "c7fc9424727b5b7506eafbf6b6c23e6c4052daa5c8396b3691684666cb9ffe9d",
 	"shared/microbenchmark:DFP+lbm:SIP":       "766c52cc05e3362bdcbe58987d3600f5552815a35ddfe8558890502017ec2496",
+	"shared/tiebreak-E64":                     "bd9bcf68906126a5fb43281f7a21869f1cc3debc249d1159dc717949d7192403",
 }
 
 // TestGoldenVsSeed compares the current engine against the pinned seed
@@ -251,4 +252,5 @@ func TestGoldenVsSeed(t *testing.T) {
 		multiCell(t, DFPStop, Baseline, "lbm", "deepsjeng"))
 	check("shared/microbenchmark:DFP+lbm:SIP",
 		multiCell(t, DFP, SIP, "microbenchmark", "lbm"))
+	check("shared/tiebreak-E64", tieBreakCell(t, 64))
 }

@@ -32,6 +32,11 @@ import (
 type Engine struct {
 	costs  mem.CostModel
 	states []*enclaveState
+	// sched is the event heap over runnable enclaves, keyed on
+	// clock + nextAccess.Compute with the seed's strict first-min
+	// tie-break (see sched.go). Step is O(log E) instead of the old
+	// linear argmin's O(E).
+	sched eventHeap
 }
 
 // enclaveState is the per-enclave execution cursor.
@@ -65,18 +70,21 @@ func New(enclaves []Enclave, cfg SharedConfig) (*Engine, error) {
 		cfg.Costs = mem.DefaultCostModel()
 	}
 	if err := cfg.Costs.Validate(); err != nil {
+		closeEnclaveStreams(enclaves)
 		return nil, err
 	}
 
 	var total uint64
 	for i, e := range enclaves {
 		if e.Pages == 0 {
+			closeEnclaveStreams(enclaves)
 			return nil, fmt.Errorf("sim: enclave %d (%s) declares zero pages", i, e.Name)
 		}
 		total += e.Pages
 	}
 	shared, err := epc.NewWithPolicy(cfg.EPCPages, total, cfg.EvictPolicy)
 	if err != nil {
+		closeEnclaveStreams(enclaves)
 		return nil, err
 	}
 	channels := channel.NewGroup(len(enclaves))
@@ -86,17 +94,39 @@ func New(enclaves []Enclave, cfg SharedConfig) (*Engine, error) {
 	for i, e := range enclaves {
 		st, err := buildState(e, cfg, shared, channels[i], total, base)
 		if err != nil {
+			// Release every stream: the built states via Close, and the
+			// enclaves from the failing index on — whose states never
+			// existed — directly.
 			eng.Close()
+			closeEnclaveStreams(enclaves[i:])
 			return nil, err
 		}
 		eng.states[i] = st
 		base += mem.PageID(e.Pages)
 	}
-	// Prime the one-access lookahead so the first Step can schedule.
-	for _, st := range eng.states {
+	// Prime the one-access lookahead and seed the event heap. The
+	// initial keys cannot saturate: every clock is zero, so a key is
+	// just the first access's compute.
+	eng.sched.init(len(eng.states))
+	for i, st := range eng.states {
 		st.advance()
+		if st.has {
+			eng.sched.push(int32(i), st.next.Compute)
+		}
 	}
 	return eng, nil
+}
+
+// closeEnclaveStreams releases the closeable streams of enclaves whose
+// state was never built — the construction-failure counterpart of
+// Engine.Close. Materialized traces wrap into slice streams that hold
+// no resources, so only caller-provided Streams matter here.
+func closeEnclaveStreams(enclaves []Enclave) {
+	for _, e := range enclaves {
+		if c, ok := e.Stream.(mem.Closer); ok {
+			c.Close()
+		}
+	}
 }
 
 // buildState wires one enclave: its kernel over the shared EPC and
@@ -166,55 +196,78 @@ func (st *enclaveState) advance() {
 }
 
 // Step executes one access: the enclave with the smallest virtual clock
-// (its current time plus the compute preceding its next access) runs.
-// It returns false when every stream is exhausted; the error reports an
-// access outside its enclave's declared range.
+// (its current time plus the compute preceding its next access) runs —
+// the event heap's root, popped or re-keyed in O(log E). It returns
+// false when every stream is exhausted; the error reports an access
+// outside its enclave's declared range, or a virtual clock saturating
+// uint64 (see the saturation note below). After a non-nil error the
+// engine must be abandoned (Close it); its schedule is no longer
+// meaningful.
+//
+// Saturation: an unbounded run (-stream -repeat 0) eventually pushes a
+// clock toward 2^64. A wrapped scheduling key would silently corrupt
+// the heap order — the enclave would look *earliest* instead of latest
+// — so the engine detects the wrap and errors out instead of clamping:
+// clamping would keep the run alive but make its schedule, and
+// therefore every downstream artifact, quietly diverge from the
+// infinite-precision schedule. At the default cost model, 2^64 cycles
+// is centuries of simulated time; hitting the error means the run
+// outlived the representation, not that the engine mis-scheduled.
 func (e *Engine) Step() (bool, error) {
-	var next *enclaveState
-	for _, st := range e.states {
-		if !st.has {
-			continue
-		}
-		if next == nil || st.t+st.next.Compute < next.t+next.next.Compute {
-			next = st
-		}
-	}
-	if next == nil {
+	if e.sched.len() == 0 {
 		return false, nil
 	}
-	if err := next.step(e.costs); err != nil {
+	st := e.states[e.sched.min()]
+	// The root's key is st.t + st.next.Compute and is known not to wrap;
+	// a step advances the clock past that key (compute plus protocol
+	// costs), so a post-step clock below it means the clock wrapped
+	// inside the step's fault service.
+	oldKey := e.sched.hKey[0]
+	if err := st.step(e.costs); err != nil {
 		return false, err
 	}
-	next.advance()
+	if st.t < oldKey {
+		return false, fmt.Errorf("sim: enclave %s virtual clock saturated uint64 at access %d",
+			st.enc.Name, st.seen-1)
+	}
+	st.advance()
+	if !st.has {
+		e.sched.popMin()
+		return true, nil
+	}
+	key := st.t + st.next.Compute
+	if key < st.t {
+		return false, fmt.Errorf("sim: enclave %s scheduling key saturated uint64 at access %d (clock %d + compute %d)",
+			st.enc.Name, st.seen, st.t, st.next.Compute)
+	}
+	e.sched.updateMin(key)
 	return true, nil
 }
 
 // Done reports whether every enclave's stream is exhausted.
-func (e *Engine) Done() bool {
-	for _, st := range e.states {
-		if st.has {
-			return false
-		}
-	}
-	return true
-}
+func (e *Engine) Done() bool { return e.sched.len() == 0 }
 
 // Results snapshots every enclave's outcome. It may be called mid-run —
 // a live observer polls it — and again after Done; each call derives a
 // fresh snapshot from the current clocks and kernel counters.
 func (e *Engine) Results() []SharedResult {
 	out := make([]SharedResult, len(e.states))
-	for i, st := range e.states {
-		r := st.res
-		r.Cycles = st.t
-		r.Kernel = st.kern.Stats()
-		out[i] = SharedResult{Name: st.enc.Name, Result: r}
+	for i := range e.states {
+		out[i] = e.Result(i)
 	}
 	return out
 }
 
-// Result snapshots enclave i's outcome (see Results).
-func (e *Engine) Result(i int) SharedResult { return e.Results()[i] }
+// Result snapshots enclave i's outcome (see Results). It derives only
+// that enclave's snapshot — no per-call allocation, no O(E) walk — so a
+// scraper polling one enclave of a 10k-enclave run costs O(1).
+func (e *Engine) Result(i int) SharedResult {
+	st := e.states[i]
+	r := st.res
+	r.Cycles = st.t
+	r.Kernel = st.kern.Stats()
+	return SharedResult{Name: st.enc.Name, Result: r}
+}
 
 // Close releases enclave streams that hold resources (generator
 // coroutines). Runs that drain to completion release them implicitly;

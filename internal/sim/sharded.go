@@ -1,0 +1,121 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// The sharded runner: fleet-shaped runs on one machine. A shard is an
+// independent EPC domain — its own epc.EPC, its own load-channel group,
+// its own engine — so shards share no simulated state and can run on
+// worker goroutines without any cross-shard synchronization. This
+// models a fleet of SGX hosts: enclaves contend *within* a host's EPC,
+// never across hosts.
+//
+// Determinism: each shard's engine is the same deterministic engine
+// RunShared drives, results land in a [shard][enclave] grid by index,
+// and on failure the lowest-index shard's error is returned — exactly
+// what a sequential shard loop would have surfaced first. Worker count
+// therefore never leaks into the output: RunSharded at any workers
+// setting, including a single worker, produces identical results, and a
+// one-shard run is byte-identical to RunShared.
+
+// RunSharded simulates each enclave group as an independent EPC domain
+// (cfg.EPCPages frames *per shard*) on up to workers goroutines and
+// returns the per-shard results in group order. workers <= 0 means
+// GOMAXPROCS. Every group must be non-empty.
+//
+// cfg.Hook must be nil unless there is exactly one shard: concurrent
+// shards would interleave their events on a shared hook
+// non-deterministically. Hooked fleet runs should drive shards
+// individually (one RunShared per shard, one recorder each).
+func RunSharded(groups [][]Enclave, cfg SharedConfig, workers int) ([][]SharedResult, error) {
+	if len(groups) == 0 {
+		return nil, fmt.Errorf("sim: RunSharded needs at least one shard")
+	}
+	if cfg.Hook != nil && len(groups) > 1 {
+		return nil, fmt.Errorf("sim: RunSharded cannot share one hook across %d shards (run shards individually to record)", len(groups))
+	}
+	for i, g := range groups {
+		if len(g) == 0 {
+			return nil, fmt.Errorf("sim: shard %d has no enclaves", i)
+		}
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(groups) {
+		workers = len(groups)
+	}
+
+	out := make([][]SharedResult, len(groups))
+	runShard := func(i int) error {
+		res, err := RunShared(groups[i], cfg)
+		if err != nil {
+			return fmt.Errorf("sim: shard %d: %w", i, err)
+		}
+		out[i] = res
+		return nil
+	}
+	if workers == 1 {
+		for i := range groups {
+			if err := runShard(i); err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	}
+
+	errs := make([]error, len(groups))
+	var (
+		next   atomic.Int64
+		failed atomic.Bool
+		wg     sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(groups) || failed.Load() {
+					return
+				}
+				if err := runShard(i); err != nil {
+					errs[i] = err
+					failed.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// Shards are dispatched contiguously from zero, so the lowest-index
+	// error is the first a sequential loop would have hit.
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// ShardRoundRobin partitions enclaves into shards by round-robin — the
+// deterministic default placement for fleet runs, keeping heterogeneous
+// populations balanced across EPC domains. shards is clamped to the
+// enclave count so no shard is empty.
+func ShardRoundRobin(enclaves []Enclave, shards int) [][]Enclave {
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > len(enclaves) {
+		shards = len(enclaves)
+	}
+	out := make([][]Enclave, shards)
+	for i, e := range enclaves {
+		out[i%shards] = append(out[i%shards], e)
+	}
+	return out
+}

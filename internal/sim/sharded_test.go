@@ -1,0 +1,110 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"sgxpreload/internal/mem"
+	"sgxpreload/internal/obs"
+)
+
+// TestShardedOneShardEqualsRunShared: at one shard the sharded runner
+// is RunShared — same engine, same schedule, byte-identical artifacts
+// including the hooked event timeline.
+func TestShardedOneShardEqualsRunShared(t *testing.T) {
+	recA, recB := obs.NewRecorder(), obs.NewRecorder()
+	shared, err := RunShared(tieBreakEnclaves(16), SharedConfig{EPCPages: 128, Hook: recA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := RunSharded([][]Enclave{tieBreakEnclaves(16)}, SharedConfig{EPCPages: 128, Hook: recB}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sharded) != 1 {
+		t.Fatalf("one-shard run returned %d shards", len(sharded))
+	}
+	if a, b := fmt.Sprintf("%#v", shared), fmt.Sprintf("%#v", sharded[0]); a != b {
+		t.Errorf("one-shard RunSharded diverges from RunShared:\n  shared  %.300s\n  sharded %.300s", a, b)
+	}
+	var ba, bb strings.Builder
+	if err := recA.WriteJSONL(&ba); err != nil {
+		t.Fatal(err)
+	}
+	if err := recB.WriteJSONL(&bb); err != nil {
+		t.Fatal(err)
+	}
+	if ba.String() != bb.String() {
+		t.Errorf("one-shard timeline diverges: %s", firstDiffLine(ba.String(), bb.String()))
+	}
+}
+
+// TestShardedDeterministicAcrossWorkers: the merged result grid must be
+// identical at any worker count — completion order never leaks.
+func TestShardedDeterministicAcrossWorkers(t *testing.T) {
+	run := func(workers int) string {
+		groups := ShardRoundRobin(tieBreakEnclaves(32), 4)
+		res, err := RunSharded(groups, SharedConfig{EPCPages: 64}, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fmt.Sprintf("%#v", res)
+	}
+	want := run(1)
+	for _, workers := range []int{2, 4, 8, 0} {
+		if got := run(workers); got != want {
+			t.Errorf("workers=%d: sharded results diverge from sequential run", workers)
+		}
+	}
+}
+
+// TestShardedErrors: empty inputs, hooked multi-shard runs, and empty
+// shards are rejected; a failing shard reports the lowest-index error a
+// sequential loop would have hit.
+func TestShardedErrors(t *testing.T) {
+	if _, err := RunSharded(nil, SharedConfig{EPCPages: 64}, 1); err == nil {
+		t.Error("nil groups: want error")
+	}
+	if _, err := RunSharded([][]Enclave{tieBreakEnclaves(2), tieBreakEnclaves(2)},
+		SharedConfig{EPCPages: 64, Hook: obs.NewRecorder()}, 2); err == nil ||
+		!strings.Contains(err.Error(), "hook") {
+		t.Errorf("hooked 2-shard run: want hook error, got %v", err)
+	}
+	if _, err := RunSharded([][]Enclave{tieBreakEnclaves(2), nil},
+		SharedConfig{EPCPages: 64}, 1); err == nil || !strings.Contains(err.Error(), "no enclaves") {
+		t.Errorf("empty shard: want error, got %v", err)
+	}
+
+	// Shards 1 and 3 carry an access outside the enclave's declared
+	// range; the merge must surface shard 1's error.
+	bad := Enclave{Name: "bad", Trace: []mem.Access{{Page: 99, Compute: 1}}, Pages: 8, Scheme: Baseline}
+	groups := [][]Enclave{tieBreakEnclaves(2), {bad}, tieBreakEnclaves(2), {bad}}
+	_, err := RunSharded(groups, SharedConfig{EPCPages: 64}, 4)
+	if err == nil || !strings.Contains(err.Error(), "shard 1") {
+		t.Errorf("want shard 1's error, got %v", err)
+	}
+}
+
+// TestShardRoundRobin pins the deterministic placement: index i lands
+// in shard i mod S, and the shard count clamps to the fleet size.
+func TestShardRoundRobin(t *testing.T) {
+	encs := tieBreakEnclaves(10)
+	groups := ShardRoundRobin(encs, 4)
+	if len(groups) != 4 {
+		t.Fatalf("got %d shards, want 4", len(groups))
+	}
+	for s, g := range groups {
+		for j, e := range g {
+			if want := fmt.Sprintf("enc%04d", s+j*4); e.Name != want {
+				t.Errorf("shard %d slot %d holds %s, want %s", s, j, e.Name, want)
+			}
+		}
+	}
+	if got := len(ShardRoundRobin(encs, 100)); got != 10 {
+		t.Errorf("oversharded fleet yields %d shards, want clamp to 10", got)
+	}
+	if got := len(ShardRoundRobin(encs, 0)); got != 1 {
+		t.Errorf("shards=0 yields %d shards, want 1", got)
+	}
+}
