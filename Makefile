@@ -3,7 +3,7 @@
 GO ?= go
 
 .PHONY: build test race bench bench-micro bench-json bench-smoke verify verify-obs \
-	replay-smoke stream-smoke check-docs
+	replay-smoke stream-smoke fleet-smoke check-docs
 
 # The fault-servicing hot-path microbenchmarks (channel deque, EPC page
 # table, end-to-end HandleFault).
@@ -70,6 +70,23 @@ stream-smoke:
 	SGXSIM_STREAMSMOKE=1 $(GO) test ./internal/sim/ \
 		-run 'TestStreamSmoke|TestStepAllocsO1' -v
 
+# Cluster-fleet acceptance: a small timed-arrival fleet under each
+# placement policy, with the report required byte-identical between
+# sequential (-parallel 1) and parallel (-parallel 8) host advancement.
+FLEET_SMOKE_ARGS = -bench leela,nab,exchange2,leela -fleet 2 -arrival-period 500000
+
+fleet-smoke:
+	rm -rf .fleet-smoke && mkdir -p .fleet-smoke
+	for p in round-robin least-loaded pressure; do \
+		$(GO) run ./cmd/sgxsim $(FLEET_SMOKE_ARGS) -fleet-policy $$p -parallel 1 \
+			> .fleet-smoke/$$p.seq.txt || exit 1; \
+		$(GO) run ./cmd/sgxsim $(FLEET_SMOKE_ARGS) -fleet-policy $$p -parallel 8 \
+			> .fleet-smoke/$$p.par.txt || exit 1; \
+		cmp .fleet-smoke/$$p.seq.txt .fleet-smoke/$$p.par.txt || exit 1; \
+		grep -q 'fleet-wide fault latency' .fleet-smoke/$$p.seq.txt || exit 1; \
+	done
+	rm -rf .fleet-smoke
+
 # Docs drift gate: every cmd/sgxsim flag must be mentioned in at least
 # one of README.md, OBSERVABILITY.md, or EXPERIMENTS.md.
 check-docs:
@@ -81,7 +98,7 @@ check-docs:
 	[ $$missing -eq 0 ] && echo "check-docs: all cmd/sgxsim flags documented"
 
 # The full pre-merge gate.
-verify: verify-obs stream-smoke check-docs
+verify: verify-obs stream-smoke fleet-smoke check-docs
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test -race ./...

@@ -17,6 +17,7 @@
 //	sgxsim -bench lbm,deepsjeng -scheme dfp     # shared-EPC co-run
 //	sgxsim -stream -bench lbm,deepsjeng -scheme dfp-stop  # streamed co-run
 //	sgxsim -bench lbm,mcf,deepsjeng,x264 -shards 2  # fleet: 2 EPC domains
+//	sgxsim -bench lbm,leela,nab,leela -fleet 2 -fleet-policy pressure  # cluster: timed arrivals
 //	sgxsim -list
 //
 // See OBSERVABILITY.md for the trace schema and the replay/diff/serve
@@ -37,6 +38,7 @@ import (
 	"sgxpreload/internal/dfp"
 	"sgxpreload/internal/epc"
 	"sgxpreload/internal/experiments"
+	"sgxpreload/internal/fleet"
 	"sgxpreload/internal/mem"
 	"sgxpreload/internal/obs"
 	"sgxpreload/internal/replay"
@@ -58,6 +60,11 @@ func run(args []string, out io.Writer) error {
 	var (
 		bench      = fs.String("bench", "microbenchmark", "benchmark name, or a comma-separated list for a shared-EPC co-run (-list to enumerate)")
 		shards     = fs.Int("shards", 1, "with a multi-benchmark -bench list, split the enclaves round-robin over this many independent EPC domains simulated in parallel")
+		fleetHosts = fs.Int("fleet", 0, "simulate a cluster of this many SGX hosts on one shared clock: the -bench list arrives over time (one launch per -arrival-period) and is placed by -fleet-policy")
+		fleetPol   = fs.String("fleet-policy", "round-robin", "with -fleet, the placement policy: round-robin | least-loaded | pressure")
+		arrPeriod  = fs.Int("arrival-period", 1_000_000, "with -fleet, cycles between enclave launches at the fleet front door")
+		admPeriod  = fs.Int("admit-period", 0, "with -fleet, token-bucket admission: cycles per admitted launch (0 = admit everything)")
+		admBurst   = fs.Int("admit-burst", 1, "with -fleet and -admit-period, how many launches may be admitted back-to-back")
 		scheme     = fs.String("scheme", "baseline", "baseline | dfp | dfp-stop | sip | hybrid")
 		epcPages   = fs.Int("epc", 2048, "EPC capacity in 4KiB pages")
 		listLen    = fs.Int("streamlist", 30, "DFP stream_list length")
@@ -71,7 +78,7 @@ func run(args []string, out io.Writer) error {
 		compare    = fs.Bool("compare", false, "also run the baseline and report the improvement")
 		tracePath  = fs.String("trace", "", "write the run's event timeline (JSONL; a .csv extension selects CSV)")
 		metricsOut = fs.String("metrics-out", "", "write derived metrics (text report; a .svg extension renders the timeline chart)")
-		parallel   = fs.Int("parallel", 0, "worker pool for -compare (0 = GOMAXPROCS; output is identical at any setting)")
+		parallel   = fs.Int("parallel", 0, "worker pool for -compare runs and -fleet host advancement (0 = GOMAXPROCS; output is identical at any setting)")
 		progress   = fs.Bool("progress", false, "report each completed run on stderr")
 		replayPath = fs.String("replay", "", "replay a recorded trace (JSONL, or CSV for .csv) instead of simulating")
 		diffMode   = fs.Bool("diff", false, "diff two recorded traces given as positional args: -diff a.jsonl b.jsonl")
@@ -138,6 +145,45 @@ func run(args []string, out io.Writer) error {
 		pol = epc.PolicyRandom
 	default:
 		return fmt.Errorf("unknown eviction policy %q", *policy)
+	}
+
+	// -fleet is the cluster path: the -bench list becomes a timed
+	// arrival stream placed onto -fleet hosts on one shared clock.
+	if *fleetHosts > 0 {
+		if *compare {
+			return fmt.Errorf("-compare applies to single-benchmark runs")
+		}
+		if *shards != 1 {
+			return fmt.Errorf("-shards and -fleet are different fleet shapes; pick one")
+		}
+		if *metricsOut != "" || *serveAddr != "" {
+			return fmt.Errorf("-metrics-out/-serve record one engine's timeline; with -fleet use -trace for per-host trace files")
+		}
+		if *arrPeriod < 0 || *admPeriod < 0 {
+			return fmt.Errorf("-arrival-period and -admit-period must be >= 0")
+		}
+		pl, err := fleet.PolicyByName(strings.ToLower(*fleetPol))
+		if err != nil {
+			return err
+		}
+		return runClusterFleet(strings.Split(*bench, ","), clusterOpts{
+			hosts:         *fleetHosts,
+			placement:     pl,
+			arrivalPeriod: uint64(*arrPeriod),
+			admitPeriod:   uint64(*admPeriod),
+			admitBurst:    *admBurst,
+			scheme:        sch,
+			dfp:           d,
+			predictor:     core.Kind(strings.ToLower(*predictor)),
+			policy:        pol,
+			epcPages:      *epcPages,
+			stream:        *streamMode,
+			repeat:        *repeat,
+			reclaim:       *reclaim,
+			threshold:     *threshold,
+			tracePath:     *tracePath,
+			workers:       *parallel,
+		}, out)
 	}
 
 	// A comma-separated -bench list (or an explicit -shards) is a
@@ -372,7 +418,10 @@ func runFleet(names []string, o fleetOpts, out io.Writer) error {
 		}
 		encs[i] = enc
 	}
-	groups := sim.ShardRoundRobin(encs, o.shards)
+	groups, err := sim.ShardRoundRobin(encs, o.shards)
+	if err != nil {
+		return err
+	}
 	scfg := sim.SharedConfig{EPCPages: o.epcPages, EvictPolicy: o.policy}
 
 	var rec *obs.Recorder
@@ -429,6 +478,120 @@ func runFleet(names []string, o fleetOpts, out io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// clusterOpts carries the flag values of a -fleet cluster run.
+type clusterOpts struct {
+	hosts         int
+	placement     fleet.Policy
+	arrivalPeriod uint64
+	admitPeriod   uint64
+	admitBurst    int
+	scheme        sim.Scheme
+	dfp           dfp.Config
+	predictor     core.Kind
+	policy        epc.Policy
+	epcPages      int
+	stream        bool
+	repeat        int
+	reclaim       bool
+	threshold     float64
+	tracePath     string
+	workers       int
+}
+
+// runClusterFleet turns the benchmark list into a timed arrival stream
+// (launch i at i * arrivalPeriod) and drives it through the fleet
+// layer: one engine per host, each its own EPC domain, placements made
+// by the selected policy at each arrival barrier, launches past the
+// token bucket's rate shed at the front door. The fleet advances hosts
+// in parallel between barriers with a deterministic merge, so the
+// report is identical at any parallelism. With -trace, each host
+// records its own timeline to <path>.host<N> — the per-host counterpart
+// of the single-engine trace.
+func runClusterFleet(names []string, o clusterOpts, out io.Writer) error {
+	arrivals := make([]fleet.Arrival, len(names))
+	for i, name := range names {
+		w, err := workload.ByName(strings.TrimSpace(name))
+		if err != nil {
+			return err
+		}
+		enc := sim.Enclave{
+			Name:              fmt.Sprintf("%s/%d", w.Name, i),
+			Pages:             w.ELRangePages(),
+			Scheme:            o.scheme,
+			DFP:               o.dfp,
+			Predictor:         o.predictor,
+			BackgroundReclaim: o.reclaim,
+		}
+		if o.scheme.UsesSIP() {
+			sel, err := buildSelection(w, o.epcPages, o.dfp, o.threshold, o.stream)
+			if err != nil {
+				return err
+			}
+			enc.Selection = sel
+		}
+		if o.stream {
+			enc.Stream = repeatStream(w, o.repeat)
+		} else {
+			enc.Trace = w.Generate(workload.Ref)
+		}
+		arrivals[i] = fleet.Arrival{At: uint64(i) * o.arrivalPeriod, Enclave: enc}
+	}
+
+	cfg := fleet.Config{
+		Hosts:       o.hosts,
+		Policy:      o.placement,
+		Platform:    sim.SharedConfig{EPCPages: o.epcPages, EvictPolicy: o.policy},
+		AdmitPeriod: o.admitPeriod,
+		AdmitBurst:  o.admitBurst,
+		Workers:     o.workers,
+	}
+	var recs []*obs.Recorder
+	if o.tracePath != "" {
+		recs = make([]*obs.Recorder, o.hosts)
+		cfg.Platform.HookFactory = func(h int) obs.Hook {
+			recs[h] = obs.NewRecorder()
+			return recs[h]
+		}
+	}
+	res, err := fleet.Run(arrivals, cfg)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprint(out, res.String())
+	tbl := &stats.Table{Header: []string{
+		"host", "enclave", "cycles", "accesses", "hits", "faults", "preloads",
+	}}
+	for h, hr := range res.Hosts {
+		for _, r := range hr.Enclaves {
+			tbl.Add(h, r.Name, r.Cycles, r.Accesses, r.Hits, r.Kernel.DemandFaults,
+				r.Kernel.PreloadsStarted)
+		}
+	}
+	fmt.Fprint(out, tbl.String())
+	if len(res.Shed) > 0 {
+		fmt.Fprintf(out, "shed at the front door: %s\n", strings.Join(res.Shed, ", "))
+	}
+
+	for h, rec := range recs {
+		path := hostTracePath(o.tracePath, h)
+		if err := writeTrace(rec, path); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "trace host %d:     %d events -> %s\n", h, rec.Len(), path)
+	}
+	return nil
+}
+
+// hostTracePath inserts a per-host tag before the path's extension:
+// run.jsonl -> run.host2.jsonl.
+func hostTracePath(path string, h int) string {
+	if i := strings.LastIndex(path, "."); i > 0 {
+		return fmt.Sprintf("%s.host%d%s", path[:i], h, path[i:])
+	}
+	return fmt.Sprintf("%s.host%d", path, h)
 }
 
 // repeatStream replays the workload's Ref trace n times back-to-back,

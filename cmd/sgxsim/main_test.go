@@ -426,3 +426,73 @@ func TestFleetTraceSingleShard(t *testing.T) {
 		t.Fatalf("fleet trace missing or empty: %v", err)
 	}
 }
+
+func TestClusterFleet(t *testing.T) {
+	mk := func(policy string) string {
+		var buf strings.Builder
+		args := []string{"-bench", "leela,nab,exchange2,leela", "-fleet", "2",
+			"-fleet-policy", policy, "-arrival-period", "500000"}
+		if err := run(args, &buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	for _, policy := range []string{"round-robin", "least-loaded", "pressure"} {
+		out := mk(policy)
+		for _, want := range []string{"Fleet: 2 hosts", policy + " placement",
+			"fleet-wide fault latency", "leela/0", "p99"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("-fleet %s output missing %q:\n%s", policy, want, out)
+			}
+		}
+		// Hosts advance on worker goroutines between arrival barriers;
+		// the report must be deterministic run to run.
+		if again := mk(policy); again != out {
+			t.Errorf("-fleet %s output is not deterministic", policy)
+		}
+	}
+}
+
+func TestClusterFleetAdmission(t *testing.T) {
+	var buf strings.Builder
+	args := []string{"-bench", "leela,exchange2,nab", "-fleet", "2",
+		"-arrival-period", "1000", "-admit-period", "100000000000"}
+	if err := run(args, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "2 shed") || !strings.Contains(out, "shed at the front door: exchange2/1, nab/2") {
+		t.Errorf("admission control did not shed the over-rate launches:\n%s", out)
+	}
+}
+
+func TestClusterFleetTraces(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "cluster.jsonl")
+	var buf strings.Builder
+	args := []string{"-bench", "leela,exchange2", "-fleet", "2", "-trace", tracePath}
+	if err := run(args, &buf); err != nil {
+		t.Fatal(err)
+	}
+	for h := 0; h < 2; h++ {
+		p := filepath.Join(dir, fmt.Sprintf("cluster.host%d.jsonl", h))
+		if _, err := os.Stat(p); err != nil {
+			t.Errorf("per-host trace missing: %v", err)
+		}
+	}
+}
+
+func TestClusterFleetErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-bench", "leela,nab", "-fleet", "2", "-fleet-policy", "nope"}, // unknown policy
+		{"-bench", "leela,nab", "-fleet", "2", "-compare"},             // compare is single-bench
+		{"-bench", "leela,nab", "-fleet", "2", "-shards", "2"},         // two fleet shapes
+		{"-bench", "leela,nab", "-fleet", "2", "-serve", ":0"},         // serve is single-engine
+		{"-bench", "leela,nab", "-fleet", "2", "-arrival-period", "-1"},
+	} {
+		var buf strings.Builder
+		if err := run(args, &buf); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}

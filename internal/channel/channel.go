@@ -103,6 +103,13 @@ func NewGroup(n int) []*Channel {
 	return out
 }
 
+// Sibling returns a new idle channel sharing c's load server: queued
+// work is per-channel, transfers still serialize on the one physical
+// path. It is the group-growth primitive — a dynamically admitted
+// enclave joins a host's existing channel group mid-run exactly as a
+// NewGroup member would have.
+func (c *Channel) Sibling() *Channel { return newChannel(c.srv) }
+
 // BusyUntil returns the cycle at which the channel becomes free. If no
 // load is in progress it returns the completion time of the last one (or 0).
 func (c *Channel) BusyUntil() uint64 { return c.srv.busyUntil }

@@ -49,6 +49,23 @@ func (b *Bitmap) Clear(i uint64) {
 	b.words[i/64] &^= 1 << (i % 64)
 }
 
+// Grow extends the bitmap to cover n pages; existing bits keep their
+// values and the new pages read as clear. Shrinking is a no-op: the
+// bitmap only ever tracks a growing ELRANGE (dynamic enclave admission
+// appends to the shared page space, it never reclaims). Growing in place
+// keeps every outstanding *Bitmap handle — each enclave's SIP runtime
+// holds one — valid across admissions.
+func (b *Bitmap) Grow(n uint64) {
+	if n <= b.n {
+		return
+	}
+	words := (n + 63) / 64
+	for uint64(len(b.words)) < words {
+		b.words = append(b.words, 0)
+	}
+	b.n = n
+}
+
 // Count returns the number of set bits.
 func (b *Bitmap) Count() uint64 {
 	var c uint64

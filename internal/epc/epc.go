@@ -129,6 +129,26 @@ func NewWithPolicy(capacity int, elrangePages uint64, policy Policy) (*EPC, erro
 	return e, nil
 }
 
+// Grow extends the ELRANGE page space to newPages without disturbing the
+// physical side: frames, residency, access/preload bits, the CLOCK hand,
+// and every existing page→frame mapping are untouched, so simulation
+// behavior over the old pages is identical before and after. This is the
+// dynamic-admission primitive — a newly launched enclave appends its
+// virtual range to a host's shared page space mid-run. The page space
+// only grows; asking for fewer pages than currently covered is an error.
+func (e *EPC) Grow(newPages uint64) error {
+	if newPages < e.pages {
+		return fmt.Errorf("epc: cannot shrink ELRANGE from %d to %d pages", e.pages, newPages)
+	}
+	if newPages == e.pages {
+		return nil
+	}
+	e.pt = growPageTable(e.pt, newPages, len(e.frames))
+	e.present.Grow(newPages)
+	e.pages = newPages
+	return nil
+}
+
 // Capacity returns the number of physical frames.
 func (e *EPC) Capacity() int { return len(e.frames) }
 

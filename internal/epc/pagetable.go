@@ -82,3 +82,28 @@ func newPageTable(pages uint64, capacity int) pageTable {
 	}
 	return make(sparsePageTable, capacity)
 }
+
+// growPageTable extends t to cover pages pages, preserving every mapping.
+// A dense table extends its flat array while the range stays within
+// maxDensePages and converts to the sparse map when growth crosses that
+// bound — the same dense/sparse selection newPageTable makes up front,
+// applied incrementally as dynamic admission widens the shared space.
+func growPageTable(t pageTable, pages uint64, capacity int) pageTable {
+	d, ok := t.(*densePageTable)
+	if !ok {
+		return t // sparse maps cover any page already
+	}
+	if pages <= maxDensePages {
+		for uint64(len(d.frames)) < pages {
+			d.frames = append(d.frames, noFrame)
+		}
+		return d
+	}
+	s := make(sparsePageTable, capacity)
+	for p, f := range d.frames {
+		if f != noFrame {
+			s[mem.PageID(p)] = f
+		}
+	}
+	return s
+}

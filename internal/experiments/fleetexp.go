@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"sgxpreload/internal/fleet"
+	"sgxpreload/internal/sim"
+	"sgxpreload/internal/stats"
+	"sgxpreload/internal/workload"
+)
+
+// The fleet-policies study: the same skewed arrival stream placed by
+// each of the fleet layer's policies. The population interleaves EPC
+// hogs (lbm, a footprint several times one host's EPC) with small
+// benchmarks, and the hogs arrive at indices 0, 4, 8 of a four-host
+// fleet — the adversarial alignment for round-robin, which places
+// launch i on host i mod 4 and therefore stacks every hog on host 0.
+// Load-aware placement reads the hosts' live signals at each arrival
+// barrier instead: pressure-aware sees host 0's EPC occupancy climb
+// after the first hog and routes the later hogs to idle hosts, so the
+// tail of the fault-service latency distribution — the faults queued
+// behind a thrashing host's load channel — collapses. The comparison
+// to make is the p99 column: same work, same arrival times, different
+// placement.
+
+// fleetPolicyArrivals is the arrival order: a hog leading every group
+// of four, smalls filling the gaps.
+var fleetPolicyArrivals = []string{
+	"lbm", "leela", "exchange2", "nab",
+	"lbm", "leela", "exchange2", "nab",
+	"lbm", "leela", "exchange2", "nab",
+}
+
+const (
+	fleetPolicyHosts = 4
+	// fleetArrivalPeriod spaces launches far enough apart that a hog's
+	// EPC occupancy is visible at the next arrival barrier, but close
+	// enough that the hogs' runs overlap — the contention the policies
+	// must navigate.
+	fleetArrivalPeriod = 2_000_000
+)
+
+// FleetPoliciesResult holds one fleet.Result per placement policy.
+type FleetPoliciesResult struct {
+	Hosts    int
+	Arrivals []string
+	Policies []fleet.Policy
+	Results  []fleet.Result
+}
+
+// FleetPolicies runs the arrival stream under every placement policy.
+// Each run's internal host advancement uses the runner's worker pool;
+// the three runs share the runner's trace cache.
+func FleetPolicies(r *Runner) (FleetPoliciesResult, error) {
+	out := FleetPoliciesResult{
+		Hosts:    fleetPolicyHosts,
+		Arrivals: fleetPolicyArrivals,
+		Policies: fleet.Policies(),
+	}
+	arrivals := make([]fleet.Arrival, len(fleetPolicyArrivals))
+	for i, name := range fleetPolicyArrivals {
+		w, err := mustWorkload(name)
+		if err != nil {
+			return out, err
+		}
+		arrivals[i] = fleet.Arrival{
+			At: uint64(i) * fleetArrivalPeriod,
+			Enclave: sim.Enclave{
+				Name:   fmt.Sprintf("%s/%d", name, i),
+				Trace:  r.Trace(w, workload.Ref),
+				Pages:  w.ELRangePages(),
+				Scheme: sim.DFPStop,
+			},
+		}
+	}
+	for _, policy := range out.Policies {
+		res, err := fleet.Run(arrivals, fleet.Config{
+			Hosts:    fleetPolicyHosts,
+			Policy:   policy,
+			Platform: sim.SharedConfig{EPCPages: r.p.EPCPages},
+			Workers:  r.workers,
+		})
+		if err != nil {
+			return out, fmt.Errorf("fleet-policies/%s: %w", policy, err)
+		}
+		out.Results = append(out.Results, res)
+	}
+	return out, nil
+}
+
+// hogSpread counts the distinct hosts the hogs (lbm launches) landed on.
+func (a FleetPoliciesResult) hogSpread(res fleet.Result) int {
+	hosts := map[int]bool{}
+	for i, name := range a.Arrivals {
+		if name == "lbm" && res.Placement[i] >= 0 {
+			hosts[res.Placement[i]] = true
+		}
+	}
+	return len(hosts)
+}
+
+// String renders the policy comparison: fleet-wide fault-latency
+// percentiles and the hog placement spread per policy.
+func (a FleetPoliciesResult) String() string {
+	t := &stats.Table{Header: []string{"policy", "hog hosts", "faults", "p50", "p95", "p99"}}
+	for i, res := range a.Results {
+		t.Add(a.Policies[i].String(), a.hogSpread(res), res.Faults,
+			fleetCyc(res.FaultP50), fleetCyc(res.FaultP95), fleetCyc(res.FaultP99))
+	}
+	return fmt.Sprintf("Fleet placement policies: %d launches over %d hosts, one hog per group of four\n",
+		len(a.Arrivals), a.Hosts) + t.String()
+}
+
+// fleetCyc renders a latency percentile, "-" when no faults occurred.
+func fleetCyc(v float64) string {
+	if math.IsNaN(v) {
+		return "-"
+	}
+	return fmt.Sprintf("%.0f", v)
+}

@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"sgxpreload/internal/fleet"
+)
+
+// TestFleetPolicies pins the study's headline: under the skewed
+// arrival stream (every fourth launch an EPC hog, aligned against
+// round-robin), pressure-aware placement beats round-robin on p99
+// fault-service latency, and does it by actually spreading the hogs.
+func TestFleetPolicies(t *testing.T) {
+	a, err := FleetPolicies(sharedRunner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Results) != len(a.Policies) {
+		t.Fatalf("got %d results for %d policies", len(a.Results), len(a.Policies))
+	}
+	byPolicy := map[fleet.Policy]fleet.Result{}
+	for i, p := range a.Policies {
+		byPolicy[p] = a.Results[i]
+	}
+	rr, pa := byPolicy[fleet.RoundRobin], byPolicy[fleet.PressureAware]
+	if len(rr.Shed)+len(pa.Shed) != 0 {
+		t.Fatalf("no admission control configured, yet launches were shed (rr %d, pressure %d)",
+			len(rr.Shed), len(pa.Shed))
+	}
+	if a.hogSpread(rr) != 1 {
+		t.Errorf("round-robin spread the hogs over %d hosts; the stream is aligned to stack them on one", a.hogSpread(rr))
+	}
+	if a.hogSpread(pa) <= 1 {
+		t.Error("pressure-aware placement failed to spread the hogs off the first host")
+	}
+	if !(pa.FaultP99 < rr.FaultP99) {
+		t.Errorf("pressure-aware p99 %.0f is not below round-robin's %.0f", pa.FaultP99, rr.FaultP99)
+	}
+	if pa.Faults >= rr.Faults {
+		t.Errorf("pressure-aware total faults %d did not drop below round-robin's %d (hog stacking should thrash)",
+			pa.Faults, rr.Faults)
+	}
+	out := a.String()
+	for _, want := range []string{"policy", "p99", "round-robin", "pressure"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -57,7 +57,10 @@ func ShardedFleet(r *Runner) (ShardedFleetResult, error) {
 		out.Names = append(out.Names, encs[i].Name)
 	}
 	for _, shards := range out.Shards {
-		groups := sim.ShardRoundRobin(encs, shards)
+		groups, err := sim.ShardRoundRobin(encs, shards)
+		if err != nil {
+			return out, err
+		}
 		res, err := sim.RunSharded(groups, sim.SharedConfig{EPCPages: r.p.EPCPages}, r.workers)
 		if err != nil {
 			return out, err

@@ -1,0 +1,318 @@
+package fleet
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"sgxpreload/internal/mem"
+	"sgxpreload/internal/obs"
+	"sgxpreload/internal/sim"
+)
+
+// enclaves builds n deterministic enclaves with tied schedules: 64
+// pages each, a strided trace, schemes cycling through the engine's
+// three main configurations.
+func enclaves(n int) []sim.Enclave {
+	out := make([]sim.Enclave, n)
+	schemes := []sim.Scheme{sim.Baseline, sim.DFP, sim.DFPStop}
+	for i := range out {
+		trace := make([]mem.Access, 96)
+		for j := range trace {
+			trace[j] = mem.Access{Page: mem.PageID((j * 7) % 64), Compute: 1000}
+		}
+		out[i] = sim.Enclave{
+			Name:   fmt.Sprintf("enc%04d", i),
+			Trace:  trace,
+			Pages:  64,
+			Scheme: schemes[i%len(schemes)],
+		}
+	}
+	return out
+}
+
+// atTimeZero wraps enclaves as a t=0 arrival batch.
+func atTimeZero(encs []sim.Enclave) []Arrival {
+	out := make([]Arrival, len(encs))
+	for i, e := range encs {
+		out[i] = Arrival{At: 0, Enclave: e}
+	}
+	return out
+}
+
+// TestOneHostFleetEqualsRunShared is the byte-identity anchor: a
+// one-host fleet with every arrival at time zero and no admission
+// control is RunShared — same admissions in the same order on the same
+// engine, so per-enclave results match field for field.
+func TestOneHostFleetEqualsRunShared(t *testing.T) {
+	want, err := sim.RunShared(enclaves(8), sim.SharedConfig{EPCPages: 96})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(atTimeZero(enclaves(8)), Config{Hosts: 1, Platform: sim.SharedConfig{EPCPages: 96}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Hosts) != 1 {
+		t.Fatalf("got %d hosts, want 1", len(res.Hosts))
+	}
+	if a, b := fmt.Sprintf("%#v", want), fmt.Sprintf("%#v", res.Hosts[0].Enclaves); a != b {
+		t.Errorf("one-host fleet diverges from RunShared:\n  shared %.300s\n  fleet  %.300s", a, b)
+	}
+	if len(res.Shed) != 0 {
+		t.Errorf("no-admission fleet shed %d launches", len(res.Shed))
+	}
+}
+
+// TestFleetDeterministicAcrossWorkers: the whole result — placements,
+// sheds, per-enclave results, latency percentiles — is identical at any
+// worker count, because parallelism lives only between arrival barriers.
+func TestFleetDeterministicAcrossWorkers(t *testing.T) {
+	for _, policy := range Policies() {
+		run := func(workers int) string {
+			arr := make([]Arrival, 0, 24)
+			for i, e := range enclaves(24) {
+				arr = append(arr, Arrival{At: uint64(i) * 30_000, Enclave: e})
+			}
+			res, err := Run(arr, Config{
+				Hosts:       4,
+				Policy:      policy,
+				Platform:    sim.SharedConfig{EPCPages: 96},
+				AdmitPeriod: 20_000,
+				AdmitBurst:  2,
+				Workers:     workers,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return fmt.Sprintf("%#v", res)
+		}
+		want := run(1)
+		for _, workers := range []int{2, 4, 8, 0} {
+			if got := run(workers); got != want {
+				t.Errorf("policy %s workers=%d: fleet result diverges from sequential run", policy, workers)
+			}
+		}
+	}
+}
+
+// TestRoundRobinPlacement pins the baseline policy: admitted launch i
+// lands on host i mod H regardless of load.
+func TestRoundRobinPlacement(t *testing.T) {
+	res, err := Run(atTimeZero(enclaves(9)), Config{Hosts: 3, Policy: RoundRobin,
+		Platform: sim.SharedConfig{EPCPages: 96}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, h := range res.Placement {
+		if h != i%3 {
+			t.Errorf("launch %d placed on host %d, want %d", i, h, i%3)
+		}
+	}
+}
+
+// TestColdFleetSpreads: on an idle fleet both load-aware policies must
+// spread a t=0 batch across hosts (via their running-count tie-break)
+// instead of stacking host 0.
+func TestColdFleetSpreads(t *testing.T) {
+	for _, policy := range []Policy{LeastLoaded, PressureAware} {
+		res, err := Run(atTimeZero(enclaves(6)), Config{Hosts: 3, Policy: policy,
+			Platform: sim.SharedConfig{EPCPages: 96}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for h, hr := range res.Hosts {
+			if len(hr.Enclaves) != 2 {
+				t.Errorf("%s: host %d got %d enclaves, want 2 (placement %v)",
+					policy, h, len(hr.Enclaves), res.Placement)
+			}
+		}
+	}
+}
+
+// TestPressureAvoidsOccupiedHost: after a large enclave fills host 0's
+// EPC, pressure-aware placement sends the next launch elsewhere, while
+// round-robin (by construction) would return to host 0 on the third.
+func TestPressureAvoidsOccupiedHost(t *testing.T) {
+	big := sim.Enclave{Name: "hog", Pages: 256, Scheme: sim.Baseline}
+	for j := 0; j < 256; j++ {
+		big.Trace = append(big.Trace, mem.Access{Page: mem.PageID(j), Compute: 100})
+	}
+	arr := []Arrival{{At: 0, Enclave: big}}
+	for i, e := range enclaves(3) {
+		arr = append(arr, Arrival{At: 1_000_000 + uint64(i), Enclave: e})
+	}
+	res, err := Run(arr, Config{Hosts: 2, Policy: PressureAware,
+		Platform: sim.SharedConfig{EPCPages: 512}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Placement[0] != 0 {
+		t.Fatalf("hog placed on host %d, want 0", res.Placement[0])
+	}
+	if res.Placement[1] != 1 {
+		t.Errorf("first launch after the hog placed on host %d, want 1 (host 0 EPC is full)", res.Placement[1])
+	}
+	if res.Hosts[0].EPCResident <= res.Hosts[1].EPCResident {
+		t.Errorf("expected host 0 (hog) to end more occupied: %d vs %d",
+			res.Hosts[0].EPCResident, res.Hosts[1].EPCResident)
+	}
+}
+
+// TestAdmissionControlSheds: arrivals faster than the bucket's rate are
+// shed deterministically; the shed enclave's stream is released.
+func TestAdmissionControlSheds(t *testing.T) {
+	closed := 0
+	arr := make([]Arrival, 6)
+	for i, e := range enclaves(6) {
+		e.Trace = nil
+		e.Stream = closeProbe{onClose: func() { closed++ }}
+		arr[i] = Arrival{At: uint64(i) * 1000, Enclave: e}
+	}
+	res, err := Run(arr, Config{Hosts: 2, Platform: sim.SharedConfig{EPCPages: 96},
+		AdmitPeriod: 2000, AdmitBurst: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// t=0 spends the initial token; refills at 2000-cycle period admit
+	// t=2000 and t=4000; t=1000, 3000, 5000 are shed.
+	wantShed := []string{"enc0001", "enc0003", "enc0005"}
+	if fmt.Sprint(res.Shed) != fmt.Sprint(wantShed) {
+		t.Errorf("shed %v, want %v", res.Shed, wantShed)
+	}
+	if closed != len(wantShed) {
+		t.Errorf("%d shed streams closed, want %d", closed, len(wantShed))
+	}
+	admitted := 0
+	for _, h := range res.Placement {
+		if h >= 0 {
+			admitted++
+		}
+	}
+	if admitted != 3 {
+		t.Errorf("admitted %d launches, want 3", admitted)
+	}
+}
+
+// TestTokenBucket exercises the controller in isolation: burst draining,
+// integer refill, and the no-banking-past-burst rule.
+func TestTokenBucket(t *testing.T) {
+	b := newTokenBucket(100, 2)
+	for i, want := range []bool{true, true, false} { // burst of 2, then dry at t=0
+		if got := b.take(0); got != want {
+			t.Fatalf("take %d at t=0: got %v, want %v", i, got, want)
+		}
+	}
+	if b.take(99) {
+		t.Error("token accrued before a full period elapsed")
+	}
+	if !b.take(100) {
+		t.Error("no token after one full period")
+	}
+	if b.take(100) {
+		t.Error("second token at t=100 (only one period elapsed)")
+	}
+	// Long idle refills to burst, never beyond.
+	for i, want := range []bool{true, true, false} {
+		if got := b.take(10_000); got != want {
+			t.Fatalf("take %d after long idle: got %v, want %v", i, got, want)
+		}
+	}
+	// Disabled bucket admits everything.
+	d := newTokenBucket(0, 0)
+	for i := 0; i < 10; i++ {
+		if !d.take(0) {
+			t.Fatal("disabled bucket shed a launch")
+		}
+	}
+}
+
+// TestFleetHookFactory: per-host recorders see disjoint, deterministic
+// timelines; the legacy single Hook is rejected on a multi-host fleet.
+func TestFleetHookFactory(t *testing.T) {
+	recs := make([]*obs.Recorder, 2)
+	cfg := Config{Hosts: 2, Platform: sim.SharedConfig{EPCPages: 96,
+		HookFactory: func(h int) obs.Hook {
+			recs[h] = obs.NewRecorder()
+			return recs[h]
+		}}}
+	if _, err := Run(atTimeZero(enclaves(4)), cfg); err != nil {
+		t.Fatal(err)
+	}
+	for h, rec := range recs {
+		var b strings.Builder
+		if err := rec.WriteJSONL(&b); err != nil {
+			t.Fatal(err)
+		}
+		if b.Len() == 0 {
+			t.Errorf("host %d recorded no events", h)
+		}
+	}
+
+	bad := Config{Hosts: 2, Platform: sim.SharedConfig{EPCPages: 96, Hook: obs.NewRecorder()}}
+	if _, err := Run(atTimeZero(enclaves(4)), bad); err == nil ||
+		!strings.Contains(err.Error(), "hook") {
+		t.Errorf("shared hook on 2 hosts: want rejection, got %v", err)
+	}
+}
+
+// TestFleetValidation: empty stream, out-of-order arrivals, zero hosts.
+func TestFleetValidation(t *testing.T) {
+	if _, err := Run(nil, Config{Hosts: 1, Platform: sim.SharedConfig{EPCPages: 96}}); err == nil {
+		t.Error("no arrivals: want error")
+	}
+	if _, err := Run(atTimeZero(enclaves(2)), Config{Hosts: 0,
+		Platform: sim.SharedConfig{EPCPages: 96}}); err == nil {
+		t.Error("zero hosts: want error")
+	}
+	arr := atTimeZero(enclaves(2))
+	arr[0].At = 50
+	closed := false
+	arr[1].Enclave.Trace = nil
+	arr[1].Enclave.Stream = closeProbe{onClose: func() { closed = true }}
+	if _, err := Run(arr, Config{Hosts: 1, Platform: sim.SharedConfig{EPCPages: 96}}); err == nil ||
+		!strings.Contains(err.Error(), "precedes") {
+		t.Errorf("out-of-order arrivals: want error, got %v", err)
+	}
+	if !closed {
+		t.Error("rejected run did not release arrival streams")
+	}
+}
+
+// TestFleetLatencyReport: faults produce finite, ordered percentiles;
+// an idle host reports NaN, not zero.
+func TestFleetLatencyReport(t *testing.T) {
+	// One enclave on a two-host round-robin fleet: host 0 faults its
+	// cold pages, host 1 stays idle for the whole run.
+	res, err := Run(atTimeZero(enclaves(1)), Config{Hosts: 2, Policy: RoundRobin,
+		Platform: sim.SharedConfig{EPCPages: 32}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h0, h1 := res.Hosts[0], res.Hosts[1]
+	if h0.Faults == 0 {
+		t.Fatal("host 0 serviced no faults; the trace must fault its cold pages")
+	}
+	if !(h0.FaultP50 <= h0.FaultP95 && h0.FaultP95 <= h0.FaultP99) {
+		t.Errorf("host 0 percentiles unordered: p50=%v p95=%v p99=%v", h0.FaultP50, h0.FaultP95, h0.FaultP99)
+	}
+	if h1.Faults != 0 || !math.IsNaN(h1.FaultP50) {
+		t.Errorf("idle host 1: faults=%d p50=%v, want 0/NaN", h1.Faults, h1.FaultP50)
+	}
+	if res.Faults != h0.Faults {
+		t.Errorf("fleet-wide faults %d != host 0's %d", res.Faults, h0.Faults)
+	}
+	if s := res.String(); !strings.Contains(s, "fleet-wide fault latency") {
+		t.Errorf("Result.String missing the fleet-wide line:\n%s", s)
+	}
+}
+
+// closeProbe is an empty stream that records Close — for asserting that
+// shed and rejected arrivals release their streams.
+type closeProbe struct {
+	onClose func()
+}
+
+func (s closeProbe) Next() (mem.Access, bool) { return mem.Access{}, false }
+func (s closeProbe) Close()                   { s.onClose() }

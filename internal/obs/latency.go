@@ -1,0 +1,32 @@
+package obs
+
+// FaultLatencySampler is a Hook that collects every fault's service
+// latency — KindFaultEnd's V1, resume minus raise — as it is emitted.
+// It is the light-weight tail-latency probe behind the fleet layer's
+// per-host p50/p95/p99 tables: unlike a full Recorder it retains one
+// float64 per fault rather than the whole event timeline, so a host can
+// keep one installed across a long run. Like every Hook it only
+// observes; installing it never perturbs the simulated schedule.
+type FaultLatencySampler struct {
+	samples []float64
+}
+
+// NewFaultLatencySampler returns an empty sampler.
+func NewFaultLatencySampler() *FaultLatencySampler {
+	return &FaultLatencySampler{}
+}
+
+// Emit retains the latency of fault-end events and ignores the rest.
+func (s *FaultLatencySampler) Emit(e Event) {
+	if e.Kind == KindFaultEnd {
+		s.samples = append(s.samples, float64(e.V1))
+	}
+}
+
+// Count returns the number of faults sampled so far.
+func (s *FaultLatencySampler) Count() int { return len(s.samples) }
+
+// Samples returns the collected latencies in emission order. The slice
+// is the sampler's own backing store — callers computing statistics mid-
+// run must copy it before sorting.
+func (s *FaultLatencySampler) Samples() []float64 { return s.samples }

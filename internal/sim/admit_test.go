@@ -1,0 +1,167 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"sgxpreload/internal/mem"
+	"sgxpreload/internal/obs"
+)
+
+// TestDynamicCohortAtZeroEqualsNew: a dynamic engine admitting its whole
+// cohort at time zero is the static engine — New is an admit-loop at
+// t = 0, so results and the hooked event timeline must be byte-identical.
+// This is the fleet layer's byte-identity anchor: a one-host fleet with
+// every arrival at t = 0 reduces to exactly this construction.
+func TestDynamicCohortAtZeroEqualsNew(t *testing.T) {
+	recA, recB := obs.NewRecorder(), obs.NewRecorder()
+
+	static, err := RunShared(tieBreakEnclaves(12), SharedConfig{EPCPages: 96, Hook: recA})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	eng, err := NewDynamic(SharedConfig{EPCPages: 96, Hook: recB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range tieBreakEnclaves(12) {
+		if err := eng.Admit(e, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := eng.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	dynamic := eng.Results()
+
+	if a, b := fmt.Sprintf("%#v", static), fmt.Sprintf("%#v", dynamic); a != b {
+		t.Errorf("dynamic cohort at t=0 diverges from New:\n  static  %.300s\n  dynamic %.300s", a, b)
+	}
+	var ba, bb strings.Builder
+	if err := recA.WriteJSONL(&ba); err != nil {
+		t.Fatal(err)
+	}
+	if err := recB.WriteJSONL(&bb); err != nil {
+		t.Fatal(err)
+	}
+	if ba.String() != bb.String() {
+		t.Errorf("dynamic timeline diverges: %s", firstDiffLine(ba.String(), bb.String()))
+	}
+}
+
+// TestDynamicMidRunAdmission: enclaves admitted mid-run start their
+// clocks at the admission time (Cycles are absolute virtual time, not
+// runtime), the earlier cohort's contention changes when latecomers
+// arrive, and the whole interleaving is deterministic across reruns.
+func TestDynamicMidRunAdmission(t *testing.T) {
+	run := func() []SharedResult {
+		eng, err := NewDynamic(SharedConfig{EPCPages: 48})
+		if err != nil {
+			t.Fatal(err)
+		}
+		first := tieBreakEnclaves(6)
+		for _, e := range first {
+			if err := eng.Admit(e, 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		const launch = 200_000
+		if err := eng.RunUntil(launch); err != nil {
+			t.Fatal(err)
+		}
+		for i, e := range tieBreakEnclaves(6)[:3] {
+			e.Name = fmt.Sprintf("late%04d", i)
+			if err := eng.Admit(e, launch); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := eng.Drain(); err != nil {
+			t.Fatal(err)
+		}
+		res := eng.Results()
+		for _, r := range res[6:] {
+			if r.Cycles < launch {
+				t.Errorf("late enclave %s finished at %d, before its launch at %d", r.Name, r.Cycles, launch)
+			}
+		}
+		return res
+	}
+	a, b := run(), run()
+	if x, y := fmt.Sprintf("%#v", a), fmt.Sprintf("%#v", b); x != y {
+		t.Error("mid-run admission is not deterministic across reruns")
+	}
+}
+
+// TestDynamicSignals: the placement signals a fleet reads off a host
+// engine — Running, EPCResident, NextKey — over the admit/drain cycle.
+func TestDynamicSignals(t *testing.T) {
+	eng, err := NewDynamic(SharedConfig{EPCPages: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.Running() != 0 || eng.EPCResident() != 0 {
+		t.Fatalf("fresh dynamic engine: Running=%d EPCResident=%d, want 0/0", eng.Running(), eng.EPCResident())
+	}
+	if _, ok := eng.NextKey(); ok {
+		t.Error("fresh dynamic engine claims a scheduled event")
+	}
+	for _, e := range tieBreakEnclaves(4) {
+		if err := eng.Admit(e, 1000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if eng.Running() != 4 {
+		t.Fatalf("Running=%d after 4 admissions, want 4", eng.Running())
+	}
+	if key, ok := eng.NextKey(); !ok || key < 1000 {
+		t.Errorf("NextKey=(%d,%v) after admission at 1000, want key >= 1000", key, ok)
+	}
+	if err := eng.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if eng.Running() != 0 {
+		t.Errorf("Running=%d after drain, want 0", eng.Running())
+	}
+	if eng.EPCResident() == 0 {
+		t.Error("EPCResident=0 after a run that touched pages")
+	}
+}
+
+// TestAdmitErrors: admission failures close the enclave's stream and
+// leave the engine usable; constructor-level validation fails fast.
+func TestAdmitErrors(t *testing.T) {
+	if _, err := NewDynamic(SharedConfig{}); err == nil {
+		t.Error("NewDynamic with zero EPCPages: want error")
+	}
+	eng, err := NewDynamic(SharedConfig{EPCPages: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	closed := false
+	bad := Enclave{Name: "zero", Scheme: Baseline,
+		Stream: closeProbeStream{onClose: func() { closed = true }}}
+	if err := eng.Admit(bad, 0); err == nil || !strings.Contains(err.Error(), "zero pages") {
+		t.Errorf("zero-page admission: want error, got %v", err)
+	}
+	if !closed {
+		t.Error("zero-page admission did not close the enclave's stream")
+	}
+	// The engine survives a rejected admission.
+	for _, e := range tieBreakEnclaves(2) {
+		if err := eng.Admit(e, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := eng.Drain(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// closeProbeStream is an empty stream that records Close — for
+// asserting stream-release on admission failure.
+type closeProbeStream struct{ onClose func() }
+
+func (closeProbeStream) Next() (mem.Access, bool) { return mem.Access{}, false }
+func (s closeProbeStream) Close()                 { s.onClose() }

@@ -28,7 +28,8 @@ import (
 // runs in O(1) memory.
 
 // Engine co-simulates N >= 1 enclaves round-robin over one shared EPC
-// and one load-channel group. Construct with New, drive with Step.
+// and one load-channel group. Construct with New (fixed cohort) or
+// NewDynamic (enclaves join mid-run via Admit), drive with Step.
 type Engine struct {
 	costs  mem.CostModel
 	states []*enclaveState
@@ -37,6 +38,16 @@ type Engine struct {
 	// tie-break (see sched.go). Step is O(log E) instead of the old
 	// linear argmin's O(E).
 	sched eventHeap
+
+	// Admission machinery. cfg is the resolved platform configuration
+	// (costs normalized, hook concrete); shared is the one physical EPC
+	// (nil until a dynamic engine admits its first enclave); chan0 is a
+	// member of the host's channel group, kept to spawn siblings; total
+	// is the shared page-space extent, the next admission's base offset.
+	cfg    SharedConfig
+	shared *epc.EPC
+	chan0  *channel.Channel
+	total  uint64
 }
 
 // enclaveState is the per-enclave execution cursor.
@@ -66,6 +77,32 @@ func New(enclaves []Enclave, cfg SharedConfig) (*Engine, error) {
 	if len(enclaves) == 0 {
 		return nil, fmt.Errorf("sim: engine needs at least one enclave")
 	}
+	return newEngine(enclaves, cfg)
+}
+
+// NewDynamic builds an engine with no enclaves yet: the fleet layer's
+// host shape, where enclaves launch mid-run via Admit. A dynamic engine
+// admitting its whole cohort at time zero is byte-identical to New over
+// that cohort — both go through the same admission wiring in the same
+// order.
+func NewDynamic(cfg SharedConfig) (*Engine, error) {
+	// The static path validates capacity when it creates the EPC; a
+	// dynamic engine defers EPC creation to the first admission, so
+	// fail fast here instead of on an arrival mid-run.
+	if cfg.EPCPages <= 0 {
+		return nil, fmt.Errorf("sim: EPCPages must be positive, got %d", cfg.EPCPages)
+	}
+	return newEngine(nil, cfg)
+}
+
+// newEngine is the shared construction path: normalize the platform
+// configuration, then admit the initial cohort (possibly empty) at time
+// zero.
+func newEngine(enclaves []Enclave, cfg SharedConfig) (*Engine, error) {
+	if cfg.HookFactory != nil {
+		closeEnclaveStreams(enclaves)
+		return nil, fmt.Errorf("sim: SharedConfig.HookFactory is resolved per domain by RunSharded and the fleet layer; an engine takes a concrete Hook")
+	}
 	if cfg.Costs == (mem.CostModel{}) {
 		cfg.Costs = mem.DefaultCostModel()
 	}
@@ -73,48 +110,80 @@ func New(enclaves []Enclave, cfg SharedConfig) (*Engine, error) {
 		closeEnclaveStreams(enclaves)
 		return nil, err
 	}
-
-	var total uint64
+	eng := &Engine{costs: cfg.Costs, cfg: cfg}
+	eng.sched.init(len(enclaves))
 	for i, e := range enclaves {
-		if e.Pages == 0 {
-			closeEnclaveStreams(enclaves)
-			return nil, fmt.Errorf("sim: enclave %d (%s) declares zero pages", i, e.Name)
-		}
-		total += e.Pages
-	}
-	shared, err := epc.NewWithPolicy(cfg.EPCPages, total, cfg.EvictPolicy)
-	if err != nil {
-		closeEnclaveStreams(enclaves)
-		return nil, err
-	}
-	channels := channel.NewGroup(len(enclaves))
-
-	eng := &Engine{costs: cfg.Costs, states: make([]*enclaveState, len(enclaves))}
-	var base mem.PageID
-	for i, e := range enclaves {
-		st, err := buildState(e, cfg, shared, channels[i], total, base)
-		if err != nil {
+		if err := eng.Admit(e, 0); err != nil {
 			// Release every stream: the built states via Close, and the
-			// enclaves from the failing index on — whose states never
-			// existed — directly.
+			// enclaves past the failing one — whose states never
+			// existed — directly (Admit closed the failing enclave's).
 			eng.Close()
-			closeEnclaveStreams(enclaves[i:])
+			closeEnclaveStreams(enclaves[i+1:])
 			return nil, err
-		}
-		eng.states[i] = st
-		base += mem.PageID(e.Pages)
-	}
-	// Prime the one-access lookahead and seed the event heap. The
-	// initial keys cannot saturate: every clock is zero, so a key is
-	// just the first access's compute.
-	eng.sched.init(len(eng.states))
-	for i, st := range eng.states {
-		st.advance()
-		if st.has {
-			eng.sched.push(int32(i), st.next.Compute)
 		}
 	}
 	return eng, nil
+}
+
+// Admit adds an enclave to the engine with its virtual clock starting
+// at now — the launch primitive behind dynamic fleet admission. The
+// enclave's pages append to the shared space (the EPC's page table and
+// presence bitmap grow in place; resident pages, access/preload bits,
+// and the CLOCK hand are untouched), its channel joins the host's
+// group, and its first access is scheduled at now plus its compute.
+// Callers must not pass a now earlier than an already-executed event;
+// the fleet front door admits arrivals in timestamp order, which
+// guarantees that. On error the enclave's stream is closed and the
+// engine remains usable — except after a saturation error, which
+// poisons the schedule like a Step error does.
+func (e *Engine) Admit(enc Enclave, now uint64) error {
+	closeErr := func(err error) error {
+		if c, ok := enc.Stream.(mem.Closer); ok {
+			c.Close()
+		}
+		return err
+	}
+	if enc.Pages == 0 {
+		return closeErr(fmt.Errorf("sim: enclave %d (%s) declares zero pages", len(e.states), enc.Name))
+	}
+	newTotal := e.total + enc.Pages
+	if newTotal < e.total {
+		return closeErr(fmt.Errorf("sim: enclave %s overflows the shared page space (%d + %d pages)", enc.Name, e.total, enc.Pages))
+	}
+	if e.shared == nil {
+		shared, err := epc.NewWithPolicy(e.cfg.EPCPages, newTotal, e.cfg.EvictPolicy)
+		if err != nil {
+			return closeErr(err)
+		}
+		e.shared = shared
+	} else if err := e.shared.Grow(newTotal); err != nil {
+		return closeErr(err)
+	}
+	var ch *channel.Channel
+	if e.chan0 == nil {
+		ch = channel.New()
+		e.chan0 = ch
+	} else {
+		ch = e.chan0.Sibling()
+	}
+	st, err := buildState(enc, e.cfg, e.shared, ch, newTotal, mem.PageID(e.total))
+	if err != nil {
+		return closeErr(err)
+	}
+	st.t = now
+	st.advance()
+	idx := len(e.states)
+	e.states = append(e.states, st)
+	e.total = newTotal
+	if st.has {
+		key := now + st.next.Compute
+		if key < now {
+			return fmt.Errorf("sim: enclave %s scheduling key saturated uint64 at admission (launch %d + compute %d)",
+				enc.Name, now, st.next.Compute)
+		}
+		e.sched.push(int32(idx), key)
+	}
+	return nil
 }
 
 // closeEnclaveStreams releases the closeable streams of enclaves whose
@@ -246,6 +315,53 @@ func (e *Engine) Step() (bool, error) {
 
 // Done reports whether every enclave's stream is exhausted.
 func (e *Engine) Done() bool { return e.sched.len() == 0 }
+
+// NextKey returns the virtual time of the engine's next scheduled event
+// (the clock-plus-compute key of the earliest runnable enclave) and
+// whether any enclave is still runnable. The fleet layer compares it
+// against arrival timestamps to interleave host execution with the
+// front door on one shared clock.
+func (e *Engine) NextKey() (uint64, bool) {
+	if e.sched.len() == 0 {
+		return 0, false
+	}
+	return e.sched.hKey[0], true
+}
+
+// Running returns the number of enclaves whose streams are not yet
+// exhausted — the load signal least-loaded placement reads.
+func (e *Engine) Running() int { return e.sched.len() }
+
+// EPCResident returns the occupied frame count of the shared EPC (0 for
+// a dynamic engine before its first admission) — the occupancy signal
+// pressure-aware placement reads.
+func (e *Engine) EPCResident() int {
+	if e.shared == nil {
+		return 0
+	}
+	return e.shared.Resident()
+}
+
+// RunUntil steps the engine while its next event is at or before t,
+// stopping when every remaining event is strictly later (or every
+// stream is exhausted). Like run, a stepping error closes the engine's
+// streams and the engine must be abandoned.
+func (e *Engine) RunUntil(t uint64) error {
+	for {
+		key, ok := e.NextKey()
+		if !ok || key > t {
+			return nil
+		}
+		if _, err := e.Step(); err != nil {
+			e.Close()
+			return err
+		}
+	}
+}
+
+// Drain drives the engine to completion: run exposed for drivers (the
+// fleet layer) that interleave RunUntil phases before the final drain.
+func (e *Engine) Drain() error { return e.run() }
 
 // Results snapshots every enclave's outcome. It may be called mid-run —
 // a live observer polls it — and again after Done; each call derives a

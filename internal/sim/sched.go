@@ -73,8 +73,13 @@ func (h *eventHeap) swap(a, b int) {
 	h.pos[h.hEnc[b]] = int32(b)
 }
 
-// push inserts enclave i with the given key.
+// push inserts enclave i with the given key. Indices past the size the
+// heap was initialized with extend the pos array — dynamic admission
+// appends enclaves after init.
 func (h *eventHeap) push(i int32, key uint64) {
+	for int(i) >= len(h.pos) {
+		h.pos = append(h.pos, invalidPos)
+	}
 	h.hKey = append(h.hKey, key)
 	h.hEnc = append(h.hEnc, i)
 	h.pos[i] = int32(len(h.hEnc) - 1)

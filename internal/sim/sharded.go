@@ -29,14 +29,18 @@ import (
 //
 // cfg.Hook must be nil unless there is exactly one shard: concurrent
 // shards would interleave their events on a shared hook
-// non-deterministically. Hooked fleet runs should drive shards
-// individually (one RunShared per shard, one recorder each).
+// non-deterministically. Multi-shard recording goes through
+// cfg.HookFactory instead — one hook per shard, resolved here before
+// the domain's engine is built.
 func RunSharded(groups [][]Enclave, cfg SharedConfig, workers int) ([][]SharedResult, error) {
 	if len(groups) == 0 {
 		return nil, fmt.Errorf("sim: RunSharded needs at least one shard")
 	}
+	if cfg.Hook != nil && cfg.HookFactory != nil {
+		return nil, fmt.Errorf("sim: RunSharded takes Hook or HookFactory, not both")
+	}
 	if cfg.Hook != nil && len(groups) > 1 {
-		return nil, fmt.Errorf("sim: RunSharded cannot share one hook across %d shards (run shards individually to record)", len(groups))
+		return nil, fmt.Errorf("sim: RunSharded cannot share one hook across %d shards (set HookFactory for per-shard recording)", len(groups))
 	}
 	for i, g := range groups {
 		if len(g) == 0 {
@@ -52,7 +56,12 @@ func RunSharded(groups [][]Enclave, cfg SharedConfig, workers int) ([][]SharedRe
 
 	out := make([][]SharedResult, len(groups))
 	runShard := func(i int) error {
-		res, err := RunShared(groups[i], cfg)
+		scfg := cfg
+		if cfg.HookFactory != nil {
+			scfg.Hook = cfg.HookFactory(i)
+			scfg.HookFactory = nil
+		}
+		res, err := RunShared(groups[i], scfg)
 		if err != nil {
 			return fmt.Errorf("sim: shard %d: %w", i, err)
 		}
@@ -104,9 +113,14 @@ func RunSharded(groups [][]Enclave, cfg SharedConfig, workers int) ([][]SharedRe
 
 // ShardRoundRobin partitions enclaves into shards by round-robin — the
 // deterministic default placement for fleet runs, keeping heterogeneous
-// populations balanced across EPC domains. shards is clamped to the
-// enclave count so no shard is empty.
-func ShardRoundRobin(enclaves []Enclave, shards int) [][]Enclave {
+// populations balanced across EPC domains. shards is clamped to [1,
+// len(enclaves)] so no shard is ever empty; an empty enclave slice is an
+// explicit error (clamping it would yield a zero-shard grid that
+// RunSharded rejects with the misleading "needs at least one shard").
+func ShardRoundRobin(enclaves []Enclave, shards int) ([][]Enclave, error) {
+	if len(enclaves) == 0 {
+		return nil, fmt.Errorf("sim: ShardRoundRobin needs at least one enclave")
+	}
 	if shards < 1 {
 		shards = 1
 	}
@@ -117,5 +131,5 @@ func ShardRoundRobin(enclaves []Enclave, shards int) [][]Enclave {
 	for i, e := range enclaves {
 		out[i%shards] = append(out[i%shards], e)
 	}
-	return out
+	return out, nil
 }

@@ -44,7 +44,10 @@ func TestShardedOneShardEqualsRunShared(t *testing.T) {
 // identical at any worker count — completion order never leaks.
 func TestShardedDeterministicAcrossWorkers(t *testing.T) {
 	run := func(workers int) string {
-		groups := ShardRoundRobin(tieBreakEnclaves(32), 4)
+		groups, err := ShardRoundRobin(tieBreakEnclaves(32), 4)
+		if err != nil {
+			t.Fatal(err)
+		}
 		res, err := RunSharded(groups, SharedConfig{EPCPages: 64}, workers)
 		if err != nil {
 			t.Fatal(err)
@@ -90,7 +93,10 @@ func TestShardedErrors(t *testing.T) {
 // in shard i mod S, and the shard count clamps to the fleet size.
 func TestShardRoundRobin(t *testing.T) {
 	encs := tieBreakEnclaves(10)
-	groups := ShardRoundRobin(encs, 4)
+	groups, err := ShardRoundRobin(encs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(groups) != 4 {
 		t.Fatalf("got %d shards, want 4", len(groups))
 	}
@@ -101,10 +107,151 @@ func TestShardRoundRobin(t *testing.T) {
 			}
 		}
 	}
-	if got := len(ShardRoundRobin(encs, 100)); got != 10 {
-		t.Errorf("oversharded fleet yields %d shards, want clamp to 10", got)
+}
+
+// TestShardRoundRobinBoundaries is the table-driven boundary sweep:
+// the empty fleet is an explicit error (not a zero-shard grid that
+// RunSharded would misreport as "needs at least one shard"), and the
+// {1, shards-1} fleet sizes clamp so no shard is empty.
+func TestShardRoundRobinBoundaries(t *testing.T) {
+	const shards = 4
+	cases := []struct {
+		name       string
+		enclaves   int
+		wantShards int // 0 = want error
+	}{
+		{"empty", 0, 0},
+		{"single", 1, 1},
+		{"one-less-than-shards", shards - 1, shards - 1},
+		{"exactly-shards", shards, shards},
+		{"shards-zero-clamps", 10, 1}, // shards argument 0, see below
 	}
-	if got := len(ShardRoundRobin(encs, 0)); got != 1 {
-		t.Errorf("shards=0 yields %d shards, want 1", got)
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			s := shards
+			if c.name == "shards-zero-clamps" {
+				s = 0
+			}
+			groups, err := ShardRoundRobin(tieBreakEnclaves(c.enclaves), s)
+			if c.wantShards == 0 {
+				if err == nil {
+					t.Fatalf("empty fleet: want error, got %d shards", len(groups))
+				}
+				if !strings.Contains(err.Error(), "at least one enclave") {
+					t.Errorf("empty fleet error %q does not name the empty input", err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(groups) != c.wantShards {
+				t.Fatalf("%d enclaves over %d shards: got %d groups, want %d",
+					c.enclaves, s, len(groups), c.wantShards)
+			}
+			total := 0
+			for si, g := range groups {
+				if len(g) == 0 {
+					t.Errorf("shard %d is empty", si)
+				}
+				total += len(g)
+			}
+			if total != c.enclaves {
+				t.Errorf("placement lost enclaves: %d placed, %d given", total, c.enclaves)
+			}
+		})
+	}
+}
+
+// slowFailStream yields delay accesses, then one access outside the
+// enclave's range — a shard that fails only after simulating a while.
+func slowFailStream(delay int, pages uint64) mem.Stream {
+	i := 0
+	return mem.StreamFunc(func() (mem.Access, bool) {
+		i++
+		if i <= delay {
+			return mem.Access{Page: mem.PageID(uint64(i) % pages), Compute: 1000}, true
+		}
+		if i == delay+1 {
+			return mem.Access{Page: mem.PageID(pages) + 1, Compute: 1000}, true
+		}
+		return mem.Access{}, false
+	})
+}
+
+// TestShardedOutOfOrderFailure forces a higher-index shard to fail
+// long before a lower-index shard (already claimed by a worker) reports
+// its own error: shard 0 fails after 50k accesses, shard 3 on its first.
+// The lowest-index error must win at every worker count — the result a
+// sequential shard loop would have surfaced — even though shard 3's
+// failure sets the fail-fast flag while shard 0 is still running.
+func TestShardedOutOfOrderFailure(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 8, 0} {
+		mk := func(delay int) []Enclave {
+			return []Enclave{{
+				Name:   fmt.Sprintf("bad-after-%d", delay),
+				Stream: slowFailStream(delay, 8),
+				Pages:  8,
+				Scheme: Baseline,
+			}}
+		}
+		groups := [][]Enclave{mk(50000), tieBreakEnclaves(2), tieBreakEnclaves(2), mk(0)}
+		_, err := RunSharded(groups, SharedConfig{EPCPages: 64}, workers)
+		if err == nil {
+			t.Fatalf("workers=%d: want error", workers)
+		}
+		if !strings.Contains(err.Error(), "shard 0") {
+			t.Errorf("workers=%d: want shard 0's error (the sequential loop's first), got %v", workers, err)
+		}
+	}
+}
+
+// TestShardedHookFactory: the per-shard factory records each EPC domain
+// to its own hook deterministically — shard i's timeline is identical
+// to a solo RunShared of that shard's enclaves with a direct hook — and
+// combining the factory with the legacy shared Hook field is rejected.
+func TestShardedHookFactory(t *testing.T) {
+	groups, err := ShardRoundRobin(tieBreakEnclaves(8), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := make([]*obs.Recorder, len(groups))
+	cfg := SharedConfig{EPCPages: 64, HookFactory: func(shard int) obs.Hook {
+		recs[shard] = obs.NewRecorder()
+		return recs[shard]
+	}}
+	if _, err := RunSharded(groups, cfg, 4); err != nil {
+		t.Fatal(err)
+	}
+	for i, g := range groups {
+		want := obs.NewRecorder()
+		if _, err := RunShared(g, SharedConfig{EPCPages: 64, Hook: want}); err != nil {
+			t.Fatal(err)
+		}
+		var a, b strings.Builder
+		if err := recs[i].WriteJSONL(&a); err != nil {
+			t.Fatal(err)
+		}
+		if err := want.WriteJSONL(&b); err != nil {
+			t.Fatal(err)
+		}
+		if a.String() != b.String() {
+			t.Errorf("shard %d: factory-recorded timeline diverges from solo run: %s",
+				i, firstDiffLine(a.String(), b.String()))
+		}
+	}
+
+	// Both Hook and HookFactory set is ambiguous — rejected.
+	bad := SharedConfig{EPCPages: 64, Hook: obs.NewRecorder(),
+		HookFactory: func(int) obs.Hook { return nil }}
+	if _, err := RunSharded(groups, bad, 1); err == nil ||
+		!strings.Contains(err.Error(), "not both") {
+		t.Errorf("Hook+HookFactory: want rejection, got %v", err)
+	}
+	// An unresolved factory must not reach an engine silently.
+	if _, err := RunShared(groups[0], SharedConfig{EPCPages: 64,
+		HookFactory: func(int) obs.Hook { return nil }}); err == nil ||
+		!strings.Contains(err.Error(), "HookFactory") {
+		t.Errorf("engine-level HookFactory: want rejection, got %v", err)
 	}
 }

@@ -1,0 +1,131 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"sgxpreload/internal/rng"
+)
+
+// TestPercentileExactRank: when p/100*(n-1) lands on an integer rank the
+// element itself is returned, no interpolation.
+func TestPercentileExactRank(t *testing.T) {
+	xs := []float64{10, 20, 30, 40, 50} // ranks 0..4
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 10}, {25, 20}, {50, 30}, {75, 40}, {100, 50},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); got != c.want {
+			t.Errorf("Percentile(p=%v) = %v, want exact element %v", c.p, got, c.want)
+		}
+	}
+}
+
+// TestPercentileInterpolation: ranks between elements interpolate
+// linearly between the two closest ranks.
+func TestPercentileInterpolation(t *testing.T) {
+	xs := []float64{0, 10} // rank span 0..1
+	for _, c := range []struct{ p, want float64 }{
+		{50, 5}, {25, 2.5}, {75, 7.5}, {99, 9.9},
+	} {
+		if got := Percentile(xs, c.p); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Percentile(p=%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	// Four elements: p95 sits at rank 2.85, between xs[2] and xs[3].
+	xs = []float64{1, 2, 4, 8}
+	if got, want := Percentile(xs, 95), 4+0.85*(8-4); math.Abs(got-want) > 1e-9 {
+		t.Errorf("Percentile(p=95) = %v, want %v", got, want)
+	}
+}
+
+// TestPercentileBoundaries: empty input is NaN (not zero), single
+// element is every percentile, out-of-range p clamps.
+func TestPercentileBoundaries(t *testing.T) {
+	if got := Percentile(nil, 50); !math.IsNaN(got) {
+		t.Errorf("Percentile(empty) = %v, want NaN", got)
+	}
+	if got := SortedPercentile(nil, 50); !math.IsNaN(got) {
+		t.Errorf("SortedPercentile(empty) = %v, want NaN", got)
+	}
+	for _, p := range []float64{0, 1, 50, 99, 100} {
+		if got := Percentile([]float64{42}, p); got != 42 {
+			t.Errorf("single element: Percentile(p=%v) = %v, want 42", p, got)
+		}
+	}
+	xs := []float64{3, 1, 2}
+	if got := Percentile(xs, -5); got != 1 {
+		t.Errorf("p<0 should clamp to min: got %v", got)
+	}
+	if got := Percentile(xs, 150); got != 3 {
+		t.Errorf("p>100 should clamp to max: got %v", got)
+	}
+	// Input must not be mutated (Percentile sorts a copy).
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("Percentile mutated its input: %v", xs)
+	}
+}
+
+// TestPercentileDuplicateHeavy: with heavy duplication the percentile
+// stays on the duplicated value until the rank crosses into the tail.
+func TestPercentileDuplicateHeavy(t *testing.T) {
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = 7
+	}
+	xs[99] = 1000 // one outlier at the top rank
+	for _, p := range []float64{0, 50, 90, 95} {
+		if got := Percentile(xs, p); got != 7 {
+			t.Errorf("duplicate-heavy: Percentile(p=%v) = %v, want 7", p, got)
+		}
+	}
+	// p99 sits at rank 98.01: interpolates between the last 7 and the
+	// outlier.
+	if got, want := Percentile(xs, 99), 7+0.01*(1000-7); math.Abs(got-want) > 1e-9 {
+		t.Errorf("duplicate-heavy p99 = %v, want %v", got, want)
+	}
+	if got := Percentile(xs, 100); got != 1000 {
+		t.Errorf("duplicate-heavy p100 = %v, want 1000", got)
+	}
+}
+
+// TestPercentileProperty checks Percentile against a sorted-slice oracle
+// on random inputs: the result is bracketed by the floor/ceil rank
+// elements, exact ranks return elements verbatim, and the function is
+// monotone in p.
+func TestPercentileProperty(t *testing.T) {
+	r := rng.New(0xf1ee7)
+	for trial := 0; trial < 200; trial++ {
+		n := int(r.Uint64n(64)) + 1
+		xs := make([]float64, n)
+		for i := range xs {
+			// Small value domain forces duplicates.
+			xs[i] = float64(r.Uint64n(16))
+		}
+		oracle := append([]float64(nil), xs...)
+		sort.Float64s(oracle)
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 2.5 {
+			got := Percentile(xs, p)
+			rank := p / 100 * float64(n-1)
+			lo, hi := oracle[int(rank)], oracle[int(math.Ceil(rank))]
+			if got < lo || got > hi {
+				t.Fatalf("trial %d: Percentile(p=%v) = %v outside bracket [%v, %v]",
+					trial, p, got, lo, hi)
+			}
+			if rank == math.Trunc(rank) && got != oracle[int(rank)] {
+				t.Fatalf("trial %d: exact rank %v: got %v, want %v",
+					trial, rank, got, oracle[int(rank)])
+			}
+			if got < prev {
+				t.Fatalf("trial %d: Percentile not monotone in p at %v: %v < %v",
+					trial, p, got, prev)
+			}
+			prev = got
+		}
+	}
+}

@@ -6,6 +6,7 @@ package stats
 import (
 	"fmt"
 	"math"
+	"sort"
 	"strings"
 )
 
@@ -60,6 +61,44 @@ func ImprovementPct(value, baseline uint64) float64 {
 		return math.NaN()
 	}
 	return 100 * (1 - float64(value)/float64(baseline))
+}
+
+// Percentile returns the p-th percentile (p in [0, 100]) of xs by linear
+// interpolation between closest ranks: rank p/100*(n-1) falls either on
+// an element (returned exactly) or between two adjacent elements
+// (interpolated). The input need not be sorted; it is not mutated. An
+// empty input returns NaN — a missing sample set must not masquerade as
+// a zero latency — and p is clamped to [0, 100].
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return SortedPercentile(sorted, p)
+}
+
+// SortedPercentile is Percentile over an already-ascending slice. Callers
+// extracting several percentiles of one sample set (p50/p95/p99 tables)
+// sort once and call this per tail point.
+func SortedPercentile(sorted []float64, p float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return math.NaN()
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[n-1]
+	}
+	rank := p / 100 * float64(n-1)
+	lo := int(rank)
+	frac := rank - float64(lo)
+	if frac == 0 || lo+1 >= n {
+		return sorted[lo]
+	}
+	return sorted[lo] + frac*(sorted[lo+1]-sorted[lo])
 }
 
 // Table renders rows as a fixed-width text table with the given header.
