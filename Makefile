@@ -2,8 +2,8 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-micro bench-json bench-smoke verify verify-obs \
-	replay-smoke stream-smoke fleet-smoke check-docs
+.PHONY: build test race bench bench-micro bench-json bench-compare bench-smoke \
+	verify verify-obs replay-smoke stream-smoke trace-smoke fleet-smoke check-docs
 
 # The fault-servicing hot-path microbenchmarks (channel deque, EPC page
 # table, end-to-end HandleFault).
@@ -28,14 +28,27 @@ bench-micro:
 		-run '^$$' -bench '$(BENCH_MICRO)' -benchmem
 
 # Regenerate BENCH_engine.json: current microbenchmark + RunAll +
-# streamed-engine numbers, with the previous committed numbers carried
-# forward as the baseline.
+# streamed-engine + trace-I/O numbers, with the previous committed
+# numbers carried forward as the baseline.
 bench-json:
 	{ $(GO) test ./internal/channel/ ./internal/epc/ ./internal/kernel/ \
 		-run '^$$' -bench '$(BENCH_MICRO)' -benchmem ; \
 	  $(GO) test ./internal/sim/ -run '^$$' -bench 'BenchmarkRunStream|BenchmarkStep' -benchmem ; \
+	  $(GO) test ./internal/obs/ -run '^$$' -bench 'BenchmarkTraceWrite|BenchmarkStreamSink' -benchmem ; \
+	  $(GO) test ./internal/replay/ -run '^$$' -bench 'BenchmarkTraceParse' -benchmem ; \
 	  $(GO) test ./internal/experiments/ -run '^$$' -bench 'BenchmarkRunAll' -benchtime 2x ; } \
 	| $(GO) run ./cmd/benchjson -baseline BENCH_engine.json -out BENCH_engine.json
+
+# Diff the committed BENCH_engine.json against its own baseline section
+# (both measured on the same machine by consecutive bench-json runs).
+# The nanosecond-scale microbenches swing 20-40% run-to-run on shared
+# vCPUs, so the automated gate uses a 50% budget — loose enough to ride
+# out scheduler noise, tight enough to catch a real hot-path regression
+# (dropping the zero-alloc trace encoder, for instance, is +580%).
+# Tighten with `go run ./cmd/benchjson -compare BENCH_engine.json`
+# (15% default) when measuring on quiet hardware.
+bench-compare:
+	$(GO) run ./cmd/benchjson -compare BENCH_engine.json -max-regress 50
 
 # One fast iteration of each benchmark; compilation + smoke for CI.
 bench-smoke:
@@ -70,6 +83,13 @@ stream-smoke:
 	SGXSIM_STREAMSMOKE=1 $(GO) test ./internal/sim/ \
 		-run 'TestStreamSmoke|TestStepAllocsO1' -v
 
+# Traced-streaming acceptance: a 10M-access streamed run with -trace
+# active must hold peak heap within a fixed ceiling (the StreamSink never
+# accumulates the timeline), and both trace formats must replay to
+# byte-identical metrics reports.
+trace-smoke:
+	SGXSIM_TRACESMOKE=1 $(GO) test ./cmd/sgxsim/ -run TestTraceSmoke -v
+
 # Cluster-fleet acceptance: a small timed-arrival fleet under each
 # placement policy, with the report required byte-identical between
 # sequential (-parallel 1) and parallel (-parallel 8) host advancement.
@@ -77,7 +97,7 @@ FLEET_SMOKE_ARGS = -bench leela,nab,exchange2,leela -fleet 2 -arrival-period 500
 
 fleet-smoke:
 	rm -rf .fleet-smoke && mkdir -p .fleet-smoke
-	for p in round-robin least-loaded pressure; do \
+	for p in round-robin least-loaded pressure affinity; do \
 		$(GO) run ./cmd/sgxsim $(FLEET_SMOKE_ARGS) -fleet-policy $$p -parallel 1 \
 			> .fleet-smoke/$$p.seq.txt || exit 1; \
 		$(GO) run ./cmd/sgxsim $(FLEET_SMOKE_ARGS) -fleet-policy $$p -parallel 8 \
@@ -98,7 +118,7 @@ check-docs:
 	[ $$missing -eq 0 ] && echo "check-docs: all cmd/sgxsim flags documented"
 
 # The full pre-merge gate.
-verify: verify-obs stream-smoke fleet-smoke check-docs
+verify: verify-obs stream-smoke trace-smoke fleet-smoke check-docs
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test -race ./...

@@ -11,6 +11,13 @@
 // committed BENCH_engine.json keeps the previous run's numbers alongside
 // the current ones. A missing baseline file is not an error — the first
 // run simply has no baseline.
+//
+// With -compare FILE, stdin is ignored: the tool diffs FILE's results
+// against its own baseline section — both were measured on the same
+// machine by consecutive `make bench-json` runs, so the comparison is
+// meaningful — prints the per-benchmark ns/op deltas, and exits nonzero
+// when any benchmark regressed by more than -max-regress percent
+// (default 15).
 package main
 
 import (
@@ -23,6 +30,7 @@ import (
 	"regexp"
 	"sort"
 	"strconv"
+	"strings"
 )
 
 // Result is one benchmark line. Pointer fields stay null in the JSON when
@@ -139,10 +147,67 @@ func run(in io.Reader, outPath, baselinePath string) error {
 	return os.WriteFile(outPath, data, 0o644)
 }
 
+// compare diffs a benchjson document's results against its baseline
+// section and reports per-benchmark ns/op deltas. It returns an error
+// when any benchmark is more than maxRegress percent slower than its
+// baseline.
+func compare(w io.Writer, path string, maxRegress float64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var doc Document
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("%s: not a benchjson document: %w", path, err)
+	}
+	if len(doc.Baseline) == 0 {
+		fmt.Fprintf(w, "%s has no baseline section; nothing to compare\n", path)
+		return nil
+	}
+	base := make(map[string]Result, len(doc.Baseline))
+	for _, b := range doc.Baseline {
+		base[b.Name] = b
+	}
+	var regressed []string
+	compared := 0
+	for _, r := range doc.Results {
+		b, ok := base[r.Name]
+		if !ok || b.NsPerOp == 0 {
+			fmt.Fprintf(w, "%-50s %41s\n", r.Name, "(new, no baseline)")
+			continue
+		}
+		compared++
+		delta := (r.NsPerOp - b.NsPerOp) / b.NsPerOp * 100
+		marker := ""
+		if delta > maxRegress {
+			marker = "  REGRESSION"
+			regressed = append(regressed, r.Name)
+		}
+		fmt.Fprintf(w, "%-50s %12.1f -> %12.1f ns/op  %+6.1f%%%s\n",
+			r.Name, b.NsPerOp, r.NsPerOp, delta, marker)
+	}
+	fmt.Fprintf(w, "compared %d benchmarks against baseline, %d regressed beyond %.0f%%\n",
+		compared, len(regressed), maxRegress)
+	if len(regressed) > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed more than %.0f%% vs baseline: %s",
+			len(regressed), maxRegress, strings.Join(regressed, ", "))
+	}
+	return nil
+}
+
 func main() {
 	out := flag.String("out", "-", "output file (default stdout)")
 	baseline := flag.String("baseline", "", "prior benchjson file whose results become the baseline section")
+	comparePath := flag.String("compare", "", "compare FILE's results against its baseline section instead of reading stdin")
+	maxRegress := flag.Float64("max-regress", 15, "with -compare, fail when ns/op regresses by more than this percentage")
 	flag.Parse()
+	if *comparePath != "" {
+		if err := compare(os.Stdout, *comparePath, *maxRegress); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(os.Stdin, *out, *baseline); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)

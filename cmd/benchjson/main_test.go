@@ -93,3 +93,58 @@ func TestRunRejectsEmptyInput(t *testing.T) {
 		t.Fatal("run accepted input with no benchmark lines")
 	}
 }
+
+func TestCompareFlagsRegressions(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bench.json")
+	doc := `{
+  "results": [
+    {"name": "BenchmarkFast", "iterations": 100, "ns_per_op": 95},
+    {"name": "BenchmarkNew", "iterations": 100, "ns_per_op": 50},
+    {"name": "BenchmarkSlow", "iterations": 100, "ns_per_op": 200}
+  ],
+  "baseline": [
+    {"name": "BenchmarkFast", "iterations": 100, "ns_per_op": 100},
+    {"name": "BenchmarkSlow", "iterations": 100, "ns_per_op": 100}
+  ]
+}
+`
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	err := compare(&out, path, 15)
+	if err == nil {
+		t.Fatal("compare accepted a 100% regression with a 15% budget")
+	}
+	if !strings.Contains(err.Error(), "BenchmarkSlow") {
+		t.Errorf("error does not name the regressed benchmark: %v", err)
+	}
+	text := out.String()
+	for _, want := range []string{"REGRESSION", "(new, no baseline)", "-5.0%", "+100.0%"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("compare output missing %q:\n%s", want, text)
+		}
+	}
+	// A generous budget accepts the same document.
+	out.Reset()
+	if err := compare(&out, path, 150); err != nil {
+		t.Errorf("compare with 150%% budget failed: %v", err)
+	}
+}
+
+func TestCompareWithoutBaseline(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bench.json")
+	doc := `{"results": [{"name": "BenchmarkX", "iterations": 1, "ns_per_op": 1}]}`
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := compare(&out, path, 15); err != nil {
+		t.Fatalf("compare without baseline should succeed, got %v", err)
+	}
+	if !strings.Contains(out.String(), "no baseline") {
+		t.Errorf("missing no-baseline note:\n%s", out.String())
+	}
+}

@@ -61,7 +61,7 @@ func run(args []string, out io.Writer) error {
 		bench      = fs.String("bench", "microbenchmark", "benchmark name, or a comma-separated list for a shared-EPC co-run (-list to enumerate)")
 		shards     = fs.Int("shards", 1, "with a multi-benchmark -bench list, split the enclaves round-robin over this many independent EPC domains simulated in parallel")
 		fleetHosts = fs.Int("fleet", 0, "simulate a cluster of this many SGX hosts on one shared clock: the -bench list arrives over time (one launch per -arrival-period) and is placed by -fleet-policy")
-		fleetPol   = fs.String("fleet-policy", "round-robin", "with -fleet, the placement policy: round-robin | least-loaded | pressure")
+		fleetPol   = fs.String("fleet-policy", "round-robin", "with -fleet, the placement policy: round-robin | least-loaded | pressure | affinity")
 		arrPeriod  = fs.Int("arrival-period", 1_000_000, "with -fleet, cycles between enclave launches at the fleet front door")
 		admPeriod  = fs.Int("admit-period", 0, "with -fleet, token-bucket admission: cycles per admitted launch (0 = admit everything)")
 		admBurst   = fs.Int("admit-burst", 1, "with -fleet and -admit-period, how many launches may be admitted back-to-back")
@@ -250,16 +250,30 @@ func run(args []string, out io.Writer) error {
 		bcfg.Selection = nil
 		configs = append(configs, bcfg)
 	}
-	// The recorder observes only the primary run (a baseline comparison
+	// The hooks observe only the primary run (a baseline comparison
 	// run stays unhooked), and each run is single-goroutine, so the
 	// recorded timeline is byte-identical at any -parallel setting. The
-	// live-metrics ring rides the same hook slot via Tee; it locks per
-	// event, so HTTP scrapers see consistent snapshots mid-run.
+	// trace streams through a StreamSink — encoded and flushed as it is
+	// emitted, so a traced run's memory is independent of trace length
+	// and -trace works on unbounded -stream -repeat 0 runs — while
+	// -metrics-out keeps an in-memory recorder (the derived report needs
+	// the whole timeline). The live-metrics ring rides the same hook
+	// slot via Tee; it locks per event, so HTTP scrapers see consistent
+	// snapshots mid-run.
 	var hooks []obs.Hook
 	var rec *obs.Recorder
-	if *tracePath != "" || *metricsOut != "" {
+	if *metricsOut != "" {
 		rec = obs.NewRecorder()
 		hooks = append(hooks, rec)
+	}
+	var sink *obs.StreamSink
+	if *tracePath != "" {
+		var err error
+		sink, err = obs.NewStreamSinkFile(*tracePath)
+		if err != nil {
+			return err
+		}
+		hooks = append(hooks, sink)
 	}
 	if *serveAddr != "" {
 		ring := obs.NewRing(0)
@@ -287,6 +301,9 @@ func run(args []string, out io.Writer) error {
 		return r, err
 	})
 	if err != nil {
+		if sink != nil {
+			sink.Close()
+		}
 		return err
 	}
 	res := results[0]
@@ -314,20 +331,18 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "improvement:      %+.2f%%\n", stats.ImprovementPct(res.Cycles, base.Cycles))
 	}
 
+	if sink != nil {
+		if err := sink.Close(); err != nil {
+			return fmt.Errorf("trace %s: %w", *tracePath, err)
+		}
+		fmt.Fprintf(out, "trace:            %d events -> %s\n", sink.Events(), *tracePath)
+	}
 	if rec != nil {
-		if *tracePath != "" {
-			if err := writeTrace(rec, *tracePath); err != nil {
-				return err
-			}
-			fmt.Fprintf(out, "trace:            %d events -> %s\n", rec.Len(), *tracePath)
+		title := fmt.Sprintf("%s / %s", w.Name, res.Scheme)
+		if err := writeMetrics(rec, title, *metricsOut); err != nil {
+			return err
 		}
-		if *metricsOut != "" {
-			title := fmt.Sprintf("%s / %s", w.Name, res.Scheme)
-			if err := writeMetrics(rec, title, *metricsOut); err != nil {
-				return err
-			}
-			fmt.Fprintf(out, "metrics:          %s\n", *metricsOut)
-		}
+		fmt.Fprintf(out, "metrics:          %s\n", *metricsOut)
 	}
 	return nil
 }
@@ -378,15 +393,18 @@ type fleetOpts struct {
 // domain) and prints a per-enclave result table. Shards simulate on
 // worker goroutines with a deterministic merge, so the table is
 // identical at any parallelism; a one-shard run is byte-identical to
-// the plain shared-EPC engine. Tracing and live serving attach the
-// hook at engine level, so they are limited to single-shard runs.
+// the plain shared-EPC engine. -metrics-out and -serve attach one hook
+// at engine level, so they remain limited to single-shard runs; -trace
+// works at any shard count — each EPC domain streams its own timeline
+// to <path>.shard<N>, mirroring the cluster fleet's per-host traces,
+// and each domain is single-goroutine so every per-shard trace is
+// byte-identical at any worker count.
 func runFleet(names []string, o fleetOpts, out io.Writer) error {
 	if o.shards < 1 {
 		return fmt.Errorf("-shards must be >= 1, got %d", o.shards)
 	}
-	hooked := o.tracePath != "" || o.metricsOut != "" || o.serveAddr != ""
-	if hooked && o.shards > 1 {
-		return fmt.Errorf("-trace/-metrics-out/-serve record one engine's timeline; use -shards 1")
+	if (o.metricsOut != "" || o.serveAddr != "") && o.shards > 1 {
+		return fmt.Errorf("-metrics-out/-serve record one engine's timeline; use -shards 1 (-trace writes per-shard files at any shard count)")
 	}
 	encs := make([]sim.Enclave, len(names))
 	for i, name := range names {
@@ -424,9 +442,42 @@ func runFleet(names []string, o fleetOpts, out io.Writer) error {
 	}
 	scfg := sim.SharedConfig{EPCPages: o.epcPages, EvictPolicy: o.policy}
 
+	// -trace streams per shard: one sink per EPC domain, resolved through
+	// the per-shard HookFactory. A single-shard run keeps the flat path
+	// (no .shard0 tag) and may tee -metrics-out/-serve hooks beside it.
 	var rec *obs.Recorder
 	var hooks []obs.Hook
-	if o.tracePath != "" || o.metricsOut != "" {
+	var sinks []*obs.StreamSink
+	var sinkPaths []string
+	closeSinks := func() {
+		for _, s := range sinks {
+			s.Close()
+		}
+	}
+	if o.tracePath != "" {
+		paths := []string{o.tracePath}
+		if len(groups) > 1 {
+			paths = paths[:0]
+			for i := range groups {
+				paths = append(paths, taggedTracePath(o.tracePath, fmt.Sprintf("shard%d", i)))
+			}
+		}
+		for _, path := range paths {
+			s, err := obs.NewStreamSinkFile(path)
+			if err != nil {
+				closeSinks()
+				return err
+			}
+			sinks = append(sinks, s)
+			sinkPaths = append(sinkPaths, path)
+		}
+		if len(groups) == 1 {
+			hooks = append(hooks, sinks[0])
+		} else {
+			scfg.HookFactory = func(shard int) obs.Hook { return sinks[shard] }
+		}
+	}
+	if o.metricsOut != "" {
 		rec = obs.NewRecorder()
 		hooks = append(hooks, rec)
 	}
@@ -435,6 +486,7 @@ func runFleet(names []string, o fleetOpts, out io.Writer) error {
 		hooks = append(hooks, ring)
 		stop, err := serveMetrics(o.serveAddr, ring, out)
 		if err != nil {
+			closeSinks()
 			return err
 		}
 		defer stop()
@@ -445,6 +497,7 @@ func runFleet(names []string, o fleetOpts, out io.Writer) error {
 
 	results, err := sim.RunSharded(groups, scfg, 0)
 	if err != nil {
+		closeSinks()
 		return err
 	}
 
@@ -462,20 +515,23 @@ func runFleet(names []string, o fleetOpts, out io.Writer) error {
 	}
 	fmt.Fprint(out, tbl.String())
 
+	for i, s := range sinks {
+		if err := s.Close(); err != nil {
+			closeSinks()
+			return fmt.Errorf("trace %s: %w", sinkPaths[i], err)
+		}
+		if len(sinks) == 1 {
+			fmt.Fprintf(out, "trace:            %d events -> %s\n", s.Events(), sinkPaths[i])
+		} else {
+			fmt.Fprintf(out, "trace shard %d:    %d events -> %s\n", i, s.Events(), sinkPaths[i])
+		}
+	}
 	if rec != nil {
-		if o.tracePath != "" {
-			if err := writeTrace(rec, o.tracePath); err != nil {
-				return err
-			}
-			fmt.Fprintf(out, "trace:            %d events -> %s\n", rec.Len(), o.tracePath)
+		title := fmt.Sprintf("fleet of %d / %s", len(encs), o.scheme)
+		if err := writeMetrics(rec, title, o.metricsOut); err != nil {
+			return err
 		}
-		if o.metricsOut != "" {
-			title := fmt.Sprintf("fleet of %d / %s", len(encs), o.scheme)
-			if err := writeMetrics(rec, title, o.metricsOut); err != nil {
-				return err
-			}
-			fmt.Fprintf(out, "metrics:          %s\n", o.metricsOut)
-		}
+		fmt.Fprintf(out, "metrics:          %s\n", o.metricsOut)
 	}
 	return nil
 }
@@ -547,16 +603,33 @@ func runClusterFleet(names []string, o clusterOpts, out io.Writer) error {
 		AdmitBurst:  o.admitBurst,
 		Workers:     o.workers,
 	}
-	var recs []*obs.Recorder
-	if o.tracePath != "" {
-		recs = make([]*obs.Recorder, o.hosts)
-		cfg.Platform.HookFactory = func(h int) obs.Hook {
-			recs[h] = obs.NewRecorder()
-			return recs[h]
+	// Per-host traces stream through one sink per host, so a long fleet
+	// run never holds host timelines in memory. The sinks are opened
+	// up-front (the HookFactory cannot surface file errors) and resolved
+	// by host index.
+	var sinks []*obs.StreamSink
+	var sinkPaths []string
+	closeSinks := func() {
+		for _, s := range sinks {
+			s.Close()
 		}
+	}
+	if o.tracePath != "" {
+		for h := 0; h < o.hosts; h++ {
+			path := taggedTracePath(o.tracePath, fmt.Sprintf("host%d", h))
+			s, err := obs.NewStreamSinkFile(path)
+			if err != nil {
+				closeSinks()
+				return err
+			}
+			sinks = append(sinks, s)
+			sinkPaths = append(sinkPaths, path)
+		}
+		cfg.Platform.HookFactory = func(h int) obs.Hook { return sinks[h] }
 	}
 	res, err := fleet.Run(arrivals, cfg)
 	if err != nil {
+		closeSinks()
 		return err
 	}
 
@@ -575,23 +648,24 @@ func runClusterFleet(names []string, o clusterOpts, out io.Writer) error {
 		fmt.Fprintf(out, "shed at the front door: %s\n", strings.Join(res.Shed, ", "))
 	}
 
-	for h, rec := range recs {
-		path := hostTracePath(o.tracePath, h)
-		if err := writeTrace(rec, path); err != nil {
-			return err
+	for h, s := range sinks {
+		if err := s.Close(); err != nil {
+			closeSinks()
+			return fmt.Errorf("trace %s: %w", sinkPaths[h], err)
 		}
-		fmt.Fprintf(out, "trace host %d:     %d events -> %s\n", h, rec.Len(), path)
+		fmt.Fprintf(out, "trace host %d:     %d events -> %s\n", h, s.Events(), sinkPaths[h])
 	}
 	return nil
 }
 
-// hostTracePath inserts a per-host tag before the path's extension:
-// run.jsonl -> run.host2.jsonl.
-func hostTracePath(path string, h int) string {
+// taggedTracePath inserts a per-domain tag before the path's extension:
+// (run.jsonl, host2) -> run.host2.jsonl, (run.jsonl, shard0) ->
+// run.shard0.jsonl.
+func taggedTracePath(path, tag string) string {
 	if i := strings.LastIndex(path, "."); i > 0 {
-		return fmt.Sprintf("%s.host%d%s", path[:i], h, path[i:])
+		return fmt.Sprintf("%s.%s%s", path[:i], tag, path[i:])
 	}
-	return fmt.Sprintf("%s.host%d", path, h)
+	return fmt.Sprintf("%s.%s", path, tag)
 }
 
 // repeatStream replays the workload's Ref trace n times back-to-back,
@@ -613,26 +687,6 @@ func repeatStream(w *workload.Workload, n int) mem.Stream {
 			cur = w.Stream(workload.Ref)
 		}
 	})
-}
-
-// writeTrace exports the recorded timeline; the extension picks the
-// format (JSONL by default, CSV for .csv).
-func writeTrace(rec *obs.Recorder, path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	var werr error
-	if strings.HasSuffix(path, ".csv") {
-		werr = rec.WriteCSV(f)
-	} else {
-		werr = rec.WriteJSONL(f)
-	}
-	cerr := f.Close()
-	if werr != nil {
-		return werr
-	}
-	return cerr
 }
 
 // writeMetrics exports the derived metrics: a text report, or the

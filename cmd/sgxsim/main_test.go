@@ -4,8 +4,14 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
+
+	"sgxpreload/internal/replay"
 )
 
 func TestList(t *testing.T) {
@@ -399,7 +405,7 @@ func TestFleetFlagErrors(t *testing.T) {
 	for _, args := range [][]string{
 		{"-bench", "lbm,deepsjeng", "-compare"},                      // compare is single-bench
 		{"-bench", "lbm,deepsjeng", "-shards", "0"},                  // invalid shard count
-		{"-bench", "lbm,mcf", "-shards", "2", "-trace", "x.jsonl"},   // hook needs one shard
+		{"-bench", "lbm,mcf", "-shards", "2", "-metrics-out", "x.txt"}, // one-engine report needs one shard
 		{"-bench", "lbm,nope"},                                       // unknown member
 		{"-bench", "lbm,bwaves", "-scheme", "sip"},                   // uninstrumentable member
 	} {
@@ -407,6 +413,56 @@ func TestFleetFlagErrors(t *testing.T) {
 		if err := run(args, &buf); err == nil {
 			t.Errorf("run(%v) succeeded, want error", args)
 		}
+	}
+}
+
+// TestShardedTrace: -trace at -shards N>1 writes one independently
+// replayable trace per EPC domain, deterministically.
+func TestShardedTrace(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "run.jsonl")
+	args := []string{"-bench", "lbm,mcf,deepsjeng,microbenchmark", "-scheme", "dfp-stop",
+		"-shards", "2", "-trace", tracePath}
+	var buf strings.Builder
+	if err := run(args, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var contents []string
+	for s := 0; s < 2; s++ {
+		path := filepath.Join(dir, fmt.Sprintf("run.shard%d.jsonl", s))
+		if !strings.Contains(buf.String(), path) {
+			t.Errorf("summary does not mention %s:\n%s", path, buf.String())
+		}
+		events, err := replay.ReadFile(path)
+		if err != nil {
+			t.Fatalf("shard %d trace does not replay: %v", s, err)
+		}
+		if len(events) == 0 {
+			t.Fatalf("shard %d trace is empty", s)
+		}
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		contents = append(contents, string(raw))
+	}
+	// Each shard is its own single-goroutine engine, so per-shard traces
+	// must be byte-identical run to run at any worker count.
+	var again strings.Builder
+	if err := run(args, &again); err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 2; s++ {
+		raw, err := os.ReadFile(filepath.Join(dir, fmt.Sprintf("run.shard%d.jsonl", s)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(raw) != contents[s] {
+			t.Errorf("shard %d trace differs between identical runs", s)
+		}
+	}
+	if _, err := os.Stat(tracePath); !os.IsNotExist(err) {
+		t.Errorf("multi-shard run should not write the untagged path %s", tracePath)
 	}
 }
 
@@ -495,4 +551,115 @@ func TestClusterFleetErrors(t *testing.T) {
 			t.Errorf("run(%v) succeeded, want error", args)
 		}
 	}
+}
+
+// TestStreamedTraceMatchesMaterialized: -trace must write the same
+// bytes whether the engine materializes the trace or streams it — the
+// StreamSink path cannot perturb the timeline.
+func TestStreamedTraceMatchesMaterialized(t *testing.T) {
+	dir := t.TempDir()
+	mk := func(name string, extra ...string) []byte {
+		path := filepath.Join(dir, name)
+		var buf strings.Builder
+		args := append([]string{"-bench", "cactuBSSN", "-scheme", "dfp-stop", "-trace", path}, extra...)
+		if err := run(args, &buf); err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	mat := mk("mat.jsonl")
+	str := mk("str.jsonl", "-stream")
+	if len(mat) == 0 || string(mat) != string(str) {
+		t.Errorf("streamed trace differs from materialized (%d vs %d bytes)", len(mat), len(str))
+	}
+	if matCSV, strCSV := mk("mat.csv"), mk("str.csv", "-stream"); string(matCSV) != string(strCSV) {
+		t.Error("streamed CSV trace differs from materialized")
+	}
+}
+
+// TestTraceSmoke is the end-to-end -trace memory proof, gated behind
+// SGXSIM_TRACESMOKE=1 (make trace-smoke sets it): a 10M-access streamed
+// run traced to disk must hold peak heap within a fixed ceiling —
+// independent of the ~70 MB trace it writes — and the trace must replay
+// to the same metrics report in both formats.
+func TestTraceSmoke(t *testing.T) {
+	if os.Getenv("SGXSIM_TRACESMOKE") != "1" {
+		t.Skip("set SGXSIM_TRACESMOKE=1 to run the 10M-access traced streaming smoke")
+	}
+	dir := t.TempDir()
+
+	heap := func() uint64 {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return ms.HeapAlloc
+	}
+	runtime.GC()
+	floor := heap()
+	// Same budget as the engine-level stream smoke: 64 MiB of slack is
+	// far below a materialized 10M-access timeline (hundreds of MB as
+	// obs.Events, ~70 MB encoded), far above the engine plus two 64 KiB
+	// sink buffers.
+	ceiling := floor + 64<<20
+
+	var peak atomic.Uint64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(20 * time.Millisecond):
+				if h := heap(); h > peak.Load() {
+					peak.Store(h)
+				}
+			}
+		}
+	}()
+
+	// 170 repeats of cactuBSSN's 60k-access trace = 10.2M accesses.
+	traces := []string{filepath.Join(dir, "run.jsonl"), filepath.Join(dir, "run.csv")}
+	for _, path := range traces {
+		var buf strings.Builder
+		if err := run([]string{"-bench", "cactuBSSN", "-scheme", "dfp-stop",
+			"-stream", "-repeat", "170", "-trace", path}, &buf); err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(buf.String(), "accesses:         10200000") {
+			t.Fatalf("smoke run did not reach 10.2M accesses:\n%s", buf.String())
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if p := peak.Load(); p > ceiling {
+		t.Errorf("peak heap %.1f MiB exceeds ceiling %.1f MiB (floor %.1f MiB): "+
+			"traced streaming run is not O(1) memory",
+			float64(p)/(1<<20), float64(ceiling)/(1<<20), float64(floor)/(1<<20))
+	}
+
+	// Both formats replay to byte-identical metrics reports.
+	var reports []string
+	for i, path := range traces {
+		out := filepath.Join(dir, fmt.Sprintf("report%d.txt", i))
+		var buf strings.Builder
+		if err := run([]string{"-replay", path, "-metrics-out", out}, &buf); err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reports = append(reports, string(data))
+	}
+	if len(reports[0]) == 0 || reports[0] != reports[1] {
+		t.Error("JSONL and CSV smoke traces replay to different metrics reports")
+	}
+	t.Logf("10.2M accesses traced twice: peak heap %.1f MiB (floor %.1f MiB)",
+		float64(peak.Load())/(1<<20), float64(floor)/(1<<20))
 }

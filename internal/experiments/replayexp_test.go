@@ -20,6 +20,9 @@ func TestReplayRoundTrip(t *testing.T) {
 	if !a.ReportIdentical {
 		t.Error("replayed Report differs from the live Report")
 	}
+	if !a.StreamIdentical {
+		t.Error("StreamSink export differs from the batch writer bytes")
+	}
 	if a.Events == 0 || a.TraceBytes == 0 {
 		t.Fatalf("empty trace: %d events, %d bytes", a.Events, a.TraceBytes)
 	}

@@ -32,6 +32,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -66,12 +67,22 @@ const (
 	// the fewest running enclaves, then to the lower host index — so a
 	// cold fleet spreads instead of stacking host 0.
 	PressureAware
+	// Affinity pins repeat launches of a named workload to the host
+	// that ran it last — the cache-warmth policy: a host that already
+	// paged a workload's working set in services its re-launch with the
+	// pages (and the DFP stream history) it built last time. A
+	// workload's first launch falls back to LeastLoaded placement. The
+	// workload key is the enclave name with the CLI's "/<launch-index>"
+	// suffix stripped, so `sgxsim -fleet` repeat launches of one
+	// benchmark share a key.
+	Affinity
 )
 
 var policyNames = map[Policy]string{
 	RoundRobin:    "round-robin",
 	LeastLoaded:   "least-loaded",
 	PressureAware: "pressure",
+	Affinity:      "affinity",
 }
 
 // String returns the policy's flag name.
@@ -83,7 +94,7 @@ func (p Policy) String() string {
 }
 
 // Policies returns every policy in declaration order.
-func Policies() []Policy { return []Policy{RoundRobin, LeastLoaded, PressureAware} }
+func Policies() []Policy { return []Policy{RoundRobin, LeastLoaded, PressureAware, Affinity} }
 
 // PolicyByName resolves a flag name to its Policy.
 func PolicyByName(name string) (Policy, error) {
@@ -92,7 +103,7 @@ func PolicyByName(name string) (Policy, error) {
 			return p, nil
 		}
 	}
-	return 0, fmt.Errorf("fleet: unknown placement policy %q (want round-robin, least-loaded, or pressure)", name)
+	return 0, fmt.Errorf("fleet: unknown placement policy %q (want round-robin, least-loaded, pressure, or affinity)", name)
 }
 
 // Config configures a fleet run.
@@ -207,7 +218,7 @@ func Run(arrivals []Arrival, cfg Config) (Result, error) {
 
 	bucket := newTokenBucket(cfg.AdmitPeriod, cfg.AdmitBurst)
 	res := Result{Policy: cfg.Policy, Placement: make([]int, 0, len(arrivals))}
-	admitted := 0 // round-robin cursor over admitted launches
+	pl := &placer{policy: cfg.Policy, affinity: make(map[string]int)}
 
 	i := 0
 	for i < len(arrivals) {
@@ -233,8 +244,7 @@ func Run(arrivals []Arrival, cfg Config) (Result, error) {
 				}
 				continue
 			}
-			h := place(cfg.Policy, hosts, admitted)
-			admitted++
+			h := pl.place(hosts, a.Enclave.Name)
 			if err := hosts[h].Admit(a.Enclave, t); err != nil {
 				// Admit closed the failing enclave's stream; engines own
 				// the earlier ones and the tail never reached an engine.
@@ -274,19 +284,22 @@ func Run(arrivals []Arrival, cfg Config) (Result, error) {
 	return res, nil
 }
 
-// place picks the host for the next admitted enclave. Signals are read
-// after the arrival barrier, so they are deterministic functions of the
-// arrival stream alone.
-func place(p Policy, hosts []*sim.Engine, admitted int) int {
-	switch p {
+// placer carries the placement state one run accumulates: the
+// round-robin cursor and, for Affinity, the last host each workload ran
+// on. Placements happen in stream order after the arrival barrier, so
+// both are deterministic functions of the arrival stream alone.
+type placer struct {
+	policy   Policy
+	admitted int            // round-robin cursor over admitted launches
+	affinity map[string]int // workload key -> host of its last launch
+}
+
+// place picks the host for the next admitted enclave.
+func (p *placer) place(hosts []*sim.Engine, name string) int {
+	p.admitted++
+	switch p.policy {
 	case LeastLoaded:
-		best := 0
-		for h := 1; h < len(hosts); h++ {
-			if hosts[h].Running() < hosts[best].Running() {
-				best = h
-			}
-		}
-		return best
+		return leastLoaded(hosts)
 	case PressureAware:
 		best := 0
 		for h := 1; h < len(hosts); h++ {
@@ -296,9 +309,45 @@ func place(p Policy, hosts []*sim.Engine, admitted int) int {
 			}
 		}
 		return best
+	case Affinity:
+		key := affinityKey(name)
+		if h, ok := p.affinity[key]; ok {
+			return h
+		}
+		h := leastLoaded(hosts)
+		p.affinity[key] = h
+		return h
 	default: // RoundRobin
-		return admitted % len(hosts)
+		return (p.admitted - 1) % len(hosts)
 	}
+}
+
+// leastLoaded returns the host with the fewest running enclaves, ties
+// to the lower host index.
+func leastLoaded(hosts []*sim.Engine) int {
+	best := 0
+	for h := 1; h < len(hosts); h++ {
+		if hosts[h].Running() < hosts[best].Running() {
+			best = h
+		}
+	}
+	return best
+}
+
+// affinityKey strips the CLI's per-launch "/<index>" suffix so repeat
+// launches of one workload share an affinity key; any other name is its
+// own key.
+func affinityKey(name string) string {
+	i := strings.LastIndexByte(name, '/')
+	if i < 0 || i == len(name)-1 {
+		return name
+	}
+	for _, c := range name[i+1:] {
+		if c < '0' || c > '9' {
+			return name
+		}
+	}
+	return name[:i]
 }
 
 // tokenBucket is the admission controller, in virtual time and integer

@@ -112,6 +112,89 @@ func TestRoundRobinPlacement(t *testing.T) {
 	}
 }
 
+// TestAffinityPlacement: the first launch of each workload spreads
+// least-loaded, and every repeat launch — identified by its name with
+// the "/<index>" launch suffix stripped — returns to the host that ran
+// it before, even when the fleet has long since gone idle and
+// least-loaded would start over at host 0.
+func TestAffinityPlacement(t *testing.T) {
+	base := enclaves(3)
+	name := []string{"alpha", "beta", "gamma"}
+	arr := make([]Arrival, 0, 6)
+	// First round at t=0: alpha, beta, gamma spread to hosts 0, 1, 2.
+	for i, e := range base {
+		e.Name = fmt.Sprintf("%s/%d", name[i], i)
+		arr = append(arr, Arrival{At: 0, Enclave: e})
+	}
+	// Second round long after the first drains, in reverse order, so a
+	// least-loaded restart would invert the placement.
+	for i := range base {
+		e := base[2-i]
+		e.Name = fmt.Sprintf("%s/%d", name[2-i], 3+i)
+		arr = append(arr, Arrival{At: 100_000_000, Enclave: e})
+	}
+	res, err := Run(arr, Config{Hosts: 3, Policy: Affinity,
+		Platform: sim.SharedConfig{EPCPages: 96}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 1, 2, 2, 1, 0}
+	for i, h := range res.Placement {
+		if h != want[i] {
+			t.Errorf("launch %d (%s) placed on host %d, want %d (placement %v)",
+				i, arr[i].Enclave.Name, h, want[i], res.Placement)
+		}
+	}
+}
+
+// TestAffinityDeterministicAcrossWorkers repeats the worker sweep with
+// colliding workload names, which the generic Policies() sweep never
+// produces: the affinity map must make the same decisions at any
+// parallelism.
+func TestAffinityDeterministicAcrossWorkers(t *testing.T) {
+	run := func(workers int) string {
+		arr := make([]Arrival, 0, 24)
+		for i, e := range enclaves(24) {
+			e.Name = fmt.Sprintf("w%d/%d", i%5, i)
+			arr = append(arr, Arrival{At: uint64(i) * 30_000, Enclave: e})
+		}
+		res, err := Run(arr, Config{
+			Hosts:       4,
+			Policy:      Affinity,
+			Platform:    sim.SharedConfig{EPCPages: 96},
+			AdmitPeriod: 20_000,
+			AdmitBurst:  2,
+			Workers:     workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fmt.Sprintf("%#v", res)
+	}
+	want := run(1)
+	for _, workers := range []int{8} {
+		if got := run(workers); got != want {
+			t.Errorf("workers=%d: affinity fleet diverges from sequential run", workers)
+		}
+	}
+}
+
+func TestAffinityKey(t *testing.T) {
+	cases := map[string]string{
+		"alpha/5":   "alpha",
+		"alpha/123": "alpha",
+		"alpha":     "alpha",
+		"alpha/":    "alpha/",
+		"a/b/7":     "a/b",
+		"alpha/x1":  "alpha/x1",
+	}
+	for in, want := range cases {
+		if got := affinityKey(in); got != want {
+			t.Errorf("affinityKey(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
 // TestColdFleetSpreads: on an idle fleet both load-aware policies must
 // spread a t=0 batch across hosts (via their running-count tie-break)
 // instead of stacking host 0.

@@ -136,6 +136,14 @@ func KindByName(name string) (Kind, bool) {
 	return k, ok
 }
 
+// KindByWire is KindByName over a byte slice. The string conversion
+// inside the map index does not allocate, so byte-level trace parsers
+// can resolve kinds without per-line garbage.
+func KindByWire(name []byte) (Kind, bool) {
+	k, ok := kindByName[string(name)]
+	return k, ok
+}
+
 // Kinds returns every emitted kind in declaration order; reports iterate
 // it so their output is deterministic.
 func Kinds() []Kind {

@@ -1,7 +1,6 @@
 package obs
 
 import (
-	"bufio"
 	"fmt"
 	"io"
 
@@ -32,6 +31,10 @@ func TraceHeaderJSONL() string {
 func TraceHeaderCSV() string {
 	return fmt.Sprintf("# %s version=%d", TraceSchema, TraceVersion)
 }
+
+// TraceColumnsCSV is the CSV column header row (without trailing
+// newline) that follows the schema comment.
+const TraceColumnsCSV = "t,kind,page,batch,v1,v2"
 
 // Recorder is the standard Hook: it appends every event to an in-memory
 // timeline in emission order. The engine is single-goroutine per run, so
@@ -88,29 +91,31 @@ func (r *Recorder) WriteCSV(w io.Writer) error { return WriteCSV(w, r.events) }
 // (header line included). internal/replay uses it to re-serialize a
 // parsed timeline bit-for-bit.
 func WriteJSONL(w io.Writer, events []Event) error {
-	return writeEvents(w, events, TraceHeaderJSONL(), func(bw *bufio.Writer, e Event) {
-		fmt.Fprintf(bw, `{"t":%d,"kind":%q,"page":%d,"batch":%d,"v1":%d,"v2":%d}`+"\n",
-			e.T, e.Kind.String(), pageField(e.Page), e.Batch, e.V1, e.V2)
-	})
+	return writeEvents(w, events, TraceHeaderJSONL(), AppendJSONL)
 }
 
 // WriteCSV writes an event slice in the Recorder's CSV trace format
 // (schema comment and column header included).
 func WriteCSV(w io.Writer, events []Event) error {
-	return writeEvents(w, events, TraceHeaderCSV()+"\nt,kind,page,batch,v1,v2",
-		func(bw *bufio.Writer, e Event) {
-			fmt.Fprintf(bw, "%d,%s,%d,%d,%d,%d\n",
-				e.T, e.Kind.String(), pageField(e.Page), e.Batch, e.V1, e.V2)
-		})
+	return writeEvents(w, events, TraceHeaderCSV()+"\n"+TraceColumnsCSV, AppendCSV)
 }
 
-// writeEvents streams a preamble plus the timeline through one buffered
-// writer.
-func writeEvents(w io.Writer, events []Event, preamble string, line func(*bufio.Writer, Event)) error {
-	bw := bufio.NewWriterSize(w, 1<<16)
-	fmt.Fprintln(bw, preamble)
+// writeEvents encodes the preamble plus the timeline into one reusable
+// buffer, flushing to w whenever it fills — the whole export performs a
+// handful of large writes regardless of timeline length.
+func writeEvents(w io.Writer, events []Event, preamble string, enc func([]byte, Event) []byte) error {
+	buf := make([]byte, 0, 1<<16)
+	buf = append(buf, preamble...)
+	buf = append(buf, '\n')
 	for _, e := range events {
-		line(bw, e)
+		buf = enc(buf, e)
+		if len(buf) >= 1<<16-256 {
+			if _, err := w.Write(buf); err != nil {
+				return err
+			}
+			buf = buf[:0]
+		}
 	}
-	return bw.Flush()
+	_, err := w.Write(buf)
+	return err
 }

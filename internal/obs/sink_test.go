@@ -1,0 +1,177 @@
+package obs
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sgxpreload/internal/mem"
+)
+
+// sinkEvents builds enough varied events to force several buffer
+// rotations through the background writer (>64 KiB of output). Field
+// magnitudes follow what the engine actually emits — T is a growing
+// cycle count, pages fit the EPC, v1 is a latency in cycles — so the
+// write benchmarks sharing this helper measure representative lines.
+func sinkEvents(n int) []Event {
+	rng := rand.New(rand.NewSource(99))
+	kinds := Kinds()
+	out := make([]Event, n)
+	for i := range out {
+		out[i] = Event{
+			T:     uint64(i) * 1237,
+			Kind:  kinds[rng.Intn(len(kinds))],
+			Page:  mem.PageID(rng.Intn(4096)),
+			Batch: uint64(rng.Intn(8)),
+			V1:    uint64(rng.Intn(100_000)),
+			V2:    uint64(rng.Intn(64)),
+		}
+		if rng.Intn(16) == 0 {
+			out[i].Page = mem.NoPage
+		}
+	}
+	return out
+}
+
+// TestStreamSinkMatchesWrite is the sink's core contract: streaming a
+// timeline event by event through the double-buffered writer produces
+// exactly the bytes the batch writers produce, in both formats, across
+// many buffer handovers.
+func TestStreamSinkMatchesWrite(t *testing.T) {
+	events := sinkEvents(5000)
+	for _, tc := range []struct {
+		format Format
+		write  func(*bytes.Buffer, []Event) error
+	}{
+		{FormatJSONL, func(b *bytes.Buffer, e []Event) error { return WriteJSONL(b, e) }},
+		{FormatCSV, func(b *bytes.Buffer, e []Event) error { return WriteCSV(b, e) }},
+	} {
+		var want bytes.Buffer
+		if err := tc.write(&want, events); err != nil {
+			t.Fatal(err)
+		}
+		var got bytes.Buffer
+		s := NewStreamSink(&got, tc.format)
+		for _, e := range events {
+			s.Emit(e)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got.Bytes(), want.Bytes()) {
+			t.Errorf("format %d: sink output (%d bytes) diverges from batch writer (%d bytes)",
+				tc.format, got.Len(), want.Len())
+		}
+		if s.Events() != len(events) {
+			t.Errorf("format %d: Events() = %d, want %d", tc.format, s.Events(), len(events))
+		}
+	}
+}
+
+// TestStreamSinkEmptyTimeline: a sink closed without any Emit still
+// writes the schema preamble, so the file is a valid empty trace.
+func TestStreamSinkEmptyTimeline(t *testing.T) {
+	var got bytes.Buffer
+	s := NewStreamSink(&got, FormatJSONL)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := WriteJSONL(&want, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Errorf("empty sink wrote %q, want %q", got.Bytes(), want.Bytes())
+	}
+}
+
+func TestStreamSinkCloseIdempotent(t *testing.T) {
+	s := NewStreamSink(&bytes.Buffer{}, FormatJSONL)
+	s.Emit(Event{T: 1, Kind: KindFaultBegin})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Errorf("second Close = %v, want nil", err)
+	}
+}
+
+// failAfter fails every write once n bytes have been accepted.
+type failAfter struct {
+	n   int
+	err error
+}
+
+func (w *failAfter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, w.err
+	}
+	w.n -= len(p)
+	return len(p), nil
+}
+
+// TestStreamSinkWriteErrorLatched: the engine-facing Emit never fails;
+// the first underlying write error is latched and surfaced by Close.
+func TestStreamSinkWriteErrorLatched(t *testing.T) {
+	wantErr := errors.New("disk full")
+	s := NewStreamSink(&failAfter{n: 100 << 10, err: wantErr}, FormatJSONL)
+	for _, e := range sinkEvents(20_000) { // ~1.5 MiB, fails partway
+		s.Emit(e)
+	}
+	if err := s.Close(); !errors.Is(err, wantErr) {
+		t.Errorf("Close = %v, want %v", err, wantErr)
+	}
+}
+
+// TestStreamSinkFile: the file constructor picks the format from the
+// extension, owns the file, and the result round-trips through the
+// batch writer byte for byte.
+func TestStreamSinkFile(t *testing.T) {
+	events := sinkEvents(300)
+	dir := t.TempDir()
+	for _, tc := range []struct {
+		name  string
+		write func(*bytes.Buffer, []Event) error
+	}{
+		{"trace.jsonl", func(b *bytes.Buffer, e []Event) error { return WriteJSONL(b, e) }},
+		{"trace.csv", func(b *bytes.Buffer, e []Event) error { return WriteCSV(b, e) }},
+	} {
+		path := filepath.Join(dir, tc.name)
+		s, err := NewStreamSinkFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range events {
+			s.Emit(e)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		got, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want bytes.Buffer
+		if err := tc.write(&want, events); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want.Bytes()) {
+			t.Errorf("%s: file diverges from batch writer", tc.name)
+		}
+	}
+}
+
+func TestFormatForPath(t *testing.T) {
+	if FormatForPath("run.csv") != FormatCSV {
+		t.Error("run.csv should map to FormatCSV")
+	}
+	if FormatForPath("run.jsonl") != FormatJSONL {
+		t.Error("run.jsonl should map to FormatJSONL")
+	}
+	if FormatForPath("run") != FormatJSONL {
+		t.Error("extensionless path should default to FormatJSONL")
+	}
+}

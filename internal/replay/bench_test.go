@@ -1,0 +1,89 @@
+package replay
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"sgxpreload/internal/mem"
+	"sgxpreload/internal/obs"
+)
+
+// benchTrace renders a 10k-event timeline once in both formats.
+var benchTraceJSONL, benchTraceCSV = func() (string, string) {
+	rng := rand.New(rand.NewSource(4))
+	kinds := obs.Kinds()
+	events := make([]obs.Event, 10_000)
+	for i := range events {
+		events[i] = obs.Event{
+			T:     uint64(i) * 23,
+			Kind:  kinds[rng.Intn(len(kinds))],
+			Page:  mem.PageID(rng.Intn(4096)),
+			Batch: uint64(rng.Intn(8)),
+			V1:    rng.Uint64() >> uint(rng.Intn(64)),
+			V2:    rng.Uint64() >> uint(rng.Intn(64)),
+		}
+		if rng.Intn(16) == 0 {
+			events[i].Page = mem.NoPage
+		}
+	}
+	var j, c strings.Builder
+	if err := obs.WriteJSONL(&j, events); err != nil {
+		panic(err)
+	}
+	if err := obs.WriteCSV(&c, events); err != nil {
+		panic(err)
+	}
+	return j.String(), c.String()
+}()
+
+func BenchmarkTraceParse(b *testing.B) {
+	b.Run("jsonl", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(len(benchTraceJSONL)))
+		for i := 0; i < b.N; i++ {
+			if _, err := ReadJSONL(strings.NewReader(benchTraceJSONL)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("csv", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(len(benchTraceCSV)))
+		for i := 0; i < b.N; i++ {
+			if _, err := ReadCSV(strings.NewReader(benchTraceCSV)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkTraceParseRef measures the pre-optimization per-line parsers
+// (encoding/json and strings.Split+strconv) over the same trace bodies,
+// as the baseline for the parse speedup recorded in BENCH_engine.json.
+func BenchmarkTraceParseRef(b *testing.B) {
+	jsonLines := strings.Split(strings.TrimSuffix(benchTraceJSONL, "\n"), "\n")[1:]
+	csvLines := strings.Split(strings.TrimSuffix(benchTraceCSV, "\n"), "\n")[2:]
+	b.Run("jsonl", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(len(benchTraceJSONL)))
+		for i := 0; i < b.N; i++ {
+			for _, line := range jsonLines {
+				if _, err := refParseJSONLEvent([]byte(line)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("csv", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(len(benchTraceCSV)))
+		for i := 0; i < b.N; i++ {
+			for _, line := range csvLines {
+				if _, err := refParseCSVEvent([]byte(line)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}

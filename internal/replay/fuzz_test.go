@@ -48,6 +48,52 @@ func FuzzReadJSONL(f *testing.F) {
 				t.Fatalf("event %d changed across round trip: %+v -> %+v", i, events[i], again[i])
 			}
 		}
+		// Canonical serialization is a fixpoint: once written by
+		// obs.WriteJSONL, a timeline re-parses and re-serializes to the
+		// same bytes.
+		var out2 strings.Builder
+		if err := obs.WriteJSONL(&out2, again); err != nil {
+			t.Fatal(err)
+		}
+		if out.String() != out2.String() {
+			t.Fatal("canonical JSONL is not a serialization fixpoint")
+		}
+	})
+}
+
+// FuzzParseJSONLLine is the per-line differential fuzzer: the optimized
+// parser (fast path + fallback) must agree with the pure encoding/json
+// reference on accept/reject and on the decoded event, for any bytes.
+func FuzzParseJSONLLine(f *testing.F) {
+	for _, line := range parserCorpusJSONL() {
+		f.Add(line)
+	}
+	f.Fuzz(func(t *testing.T, line string) {
+		got, gotErr := parseJSONLEvent([]byte(line))
+		want, wantErr := refParseJSONLEvent([]byte(line))
+		if (gotErr == nil) != (wantErr == nil) {
+			t.Fatalf("%q: accept/reject diverges: optimized err=%v, reference err=%v", line, gotErr, wantErr)
+		}
+		if gotErr == nil && got != want {
+			t.Fatalf("%q: value diverges: optimized %+v, reference %+v", line, got, want)
+		}
+	})
+}
+
+// FuzzParseCSVLine is the CSV counterpart against the strconv reference.
+func FuzzParseCSVLine(f *testing.F) {
+	for _, line := range parserCorpusCSV() {
+		f.Add(line)
+	}
+	f.Fuzz(func(t *testing.T, line string) {
+		got, gotErr := parseCSVLine([]byte(line))
+		want, wantErr := refParseCSVEvent([]byte(line))
+		if (gotErr == nil) != (wantErr == nil) {
+			t.Fatalf("%q: accept/reject diverges: optimized err=%v, reference err=%v", line, gotErr, wantErr)
+		}
+		if gotErr == nil && got != want {
+			t.Fatalf("%q: value diverges: optimized %+v, reference %+v", line, got, want)
+		}
 	})
 }
 
@@ -74,8 +120,16 @@ func FuzzReadCSV(f *testing.F) {
 		if err := obs.WriteCSV(&out, events); err != nil {
 			t.Fatalf("re-serialize of accepted input failed: %v", err)
 		}
-		if _, err := ReadCSV(strings.NewReader(out.String())); err != nil {
+		again, err := ReadCSV(strings.NewReader(out.String()))
+		if err != nil {
 			t.Fatalf("re-parse of re-serialized input failed: %v", err)
+		}
+		var out2 strings.Builder
+		if err := obs.WriteCSV(&out2, again); err != nil {
+			t.Fatal(err)
+		}
+		if out.String() != out2.String() {
+			t.Fatal("canonical CSV is not a serialization fixpoint")
 		}
 	})
 }

@@ -21,6 +21,7 @@ package replay
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -122,13 +123,145 @@ func parseJSONLHeader(raw []byte) error {
 	return nil
 }
 
-// parseJSONLEvent parses one event line.
+// parseJSONLEvent parses one event line. The hot path is a byte-level
+// scanner for the canonical shape WriteJSONL emits — fixed field order,
+// no whitespace, plain decimal numbers — which covers every line of a
+// writer-produced trace without touching encoding/json. Anything the
+// fast scanner does not recognize exactly (reordered fields, spaces,
+// leading zeros, out-of-range numbers, unknown kinds) falls back to the
+// original json.Unmarshal path, so acceptance and error behavior are
+// identical to the pure-JSON parser (the differential test and fuzzer
+// pin this).
 func parseJSONLEvent(raw []byte) (obs.Event, error) {
+	if e, ok := parseJSONLFast(raw); ok {
+		return e, nil
+	}
 	var je jsonEvent
 	if err := json.Unmarshal(raw, &je); err != nil {
 		return obs.Event{}, fmt.Errorf("malformed event: %w", err)
 	}
 	return wireToEvent(je.T, je.Kind, je.Page, je.Batch, je.V1, je.V2)
+}
+
+// Canonical JSONL line fragments, in the writer's fixed field order.
+var (
+	jsonPrefixT    = []byte(`{"t":`)
+	jsonFieldKind  = []byte(`,"kind":"`)
+	jsonFieldPage  = []byte(`","page":`)
+	jsonFieldBatch = []byte(`,"batch":`)
+	jsonFieldV1    = []byte(`,"v1":`)
+	jsonFieldV2    = []byte(`,"v2":`)
+)
+
+// cutPrefix strips prefix from b, reporting whether it was present.
+func cutPrefix(b, prefix []byte) ([]byte, bool) {
+	if !bytes.HasPrefix(b, prefix) {
+		return nil, false
+	}
+	return b[len(prefix):], true
+}
+
+// scanDigits parses a run of leading decimal digits, returning the
+// value and the rest. ok is false when there is no digit or the value
+// overflows uint64 — both send the caller to the slow path, which
+// reproduces the exact error the old parser raised.
+func scanDigits(b []byte) (v uint64, rest []byte, ok bool) {
+	i := 0
+	for i < len(b) && b[i] >= '0' && b[i] <= '9' {
+		d := uint64(b[i] - '0')
+		if v > (1<<64-1-d)/10 {
+			return 0, nil, false
+		}
+		v = v*10 + d
+		i++
+	}
+	if i == 0 {
+		return 0, nil, false
+	}
+	return v, b[i:], true
+}
+
+// scanJSONUint is scanDigits restricted to the JSON number grammar: a
+// leading zero is only valid for the number 0 itself ("007" must reach
+// the slow path, which rejects it like any JSON decoder).
+func scanJSONUint(b []byte) (uint64, []byte, bool) {
+	if len(b) >= 2 && b[0] == '0' && b[1] >= '0' && b[1] <= '9' {
+		return 0, nil, false
+	}
+	return scanDigits(b)
+}
+
+// scanJSONPage parses the page field: -1 (the NoPage sentinel) or a
+// non-negative int64. Any other shape — including valid-JSON negatives
+// below -1, which the old parser rejected with "negative page" — defers
+// to the slow path.
+func scanJSONPage(b []byte) (int64, []byte, bool) {
+	if len(b) >= 2 && b[0] == '-' && b[1] == '1' && (len(b) == 2 || b[2] < '0' || b[2] > '9') {
+		return -1, b[2:], true
+	}
+	v, rest, ok := scanJSONUint(b)
+	if !ok || v > 1<<63-1 {
+		return 0, nil, false
+	}
+	return int64(v), rest, true
+}
+
+// parseJSONLFast scans one canonical writer-emitted line. ok reports
+// whether the line matched the canonical shape; a false return says
+// nothing about validity — the caller re-parses with encoding/json.
+func parseJSONLFast(raw []byte) (obs.Event, bool) {
+	rest, ok := cutPrefix(raw, jsonPrefixT)
+	if !ok {
+		return obs.Event{}, false
+	}
+	t, rest, ok := scanJSONUint(rest)
+	if !ok {
+		return obs.Event{}, false
+	}
+	if rest, ok = cutPrefix(rest, jsonFieldKind); !ok {
+		return obs.Event{}, false
+	}
+	q := bytes.IndexByte(rest, '"')
+	if q < 0 {
+		return obs.Event{}, false
+	}
+	kind, ok := obs.KindByWire(rest[:q])
+	if !ok {
+		return obs.Event{}, false
+	}
+	if rest, ok = cutPrefix(rest[q:], jsonFieldPage); !ok {
+		return obs.Event{}, false
+	}
+	page, rest, ok := scanJSONPage(rest)
+	if !ok {
+		return obs.Event{}, false
+	}
+	if rest, ok = cutPrefix(rest, jsonFieldBatch); !ok {
+		return obs.Event{}, false
+	}
+	batch, rest, ok := scanJSONUint(rest)
+	if !ok {
+		return obs.Event{}, false
+	}
+	if rest, ok = cutPrefix(rest, jsonFieldV1); !ok {
+		return obs.Event{}, false
+	}
+	v1, rest, ok := scanJSONUint(rest)
+	if !ok {
+		return obs.Event{}, false
+	}
+	if rest, ok = cutPrefix(rest, jsonFieldV2); !ok {
+		return obs.Event{}, false
+	}
+	v2, rest, ok := scanJSONUint(rest)
+	if !ok || len(rest) != 1 || rest[0] != '}' {
+		return obs.Event{}, false
+	}
+	p := mem.PageID(page)
+	if page == -1 {
+		p = mem.NoPage
+	}
+	return obs.Event{T: t, Kind: kind, Page: p, Batch: batch, V1: v1, V2: v2}, true
 }
 
 // ReadCSV parses a CSV trace as written by obs.Recorder.WriteCSV: the
@@ -152,11 +285,11 @@ func ReadCSV(r io.Reader) ([]obs.Event, error) {
 	line := 2
 	for sc.Scan() {
 		line++
-		text := sc.Text()
-		if text == "" {
+		raw := sc.Bytes()
+		if len(raw) == 0 {
 			continue
 		}
-		e, err := parseCSVEvent(text)
+		e, err := parseCSVLine(raw)
 		if err != nil {
 			return nil, fmt.Errorf("line %d: %w", line, err)
 		}
@@ -168,7 +301,79 @@ func ReadCSV(r io.Reader) ([]obs.Event, error) {
 	return events, nil
 }
 
-// parseCSVEvent parses one CSV row.
+// parseCSVLine parses one CSV row: a byte-level fast path for canonical
+// writer output, falling back to the strconv-based parser (identical
+// acceptance — strconv tolerates leading zeros and sign prefixes the
+// fast path defers on) for anything else.
+func parseCSVLine(raw []byte) (obs.Event, error) {
+	if e, ok := parseCSVFast(raw); ok {
+		return e, nil
+	}
+	return parseCSVEvent(string(raw))
+}
+
+// parseCSVFast scans a canonical CSV row. Like parseJSONLFast, a false
+// return only means "not canonical"; the slow path decides validity.
+func parseCSVFast(raw []byte) (obs.Event, bool) {
+	var f [6][]byte
+	n, start := 0, 0
+	for i := 0; i <= len(raw); i++ {
+		if i == len(raw) || raw[i] == ',' {
+			if n == 6 {
+				return obs.Event{}, false
+			}
+			f[n] = raw[start:i]
+			n++
+			start = i + 1
+		}
+	}
+	if n != 6 {
+		return obs.Event{}, false
+	}
+	// strconv.ParseUint accepts leading zeros, so plain scanDigits (full
+	// consumption) matches its acceptance for unsigned fields.
+	full := func(b []byte) (uint64, bool) {
+		v, rest, ok := scanDigits(b)
+		return v, ok && len(rest) == 0
+	}
+	t, ok := full(f[0])
+	if !ok {
+		return obs.Event{}, false
+	}
+	kind, ok := obs.KindByWire(f[1])
+	if !ok {
+		return obs.Event{}, false
+	}
+	var page int64
+	if pb := f[2]; len(pb) == 2 && pb[0] == '-' && pb[1] == '1' {
+		page = -1
+	} else {
+		v, ok := full(pb)
+		if !ok || v > 1<<63-1 {
+			return obs.Event{}, false
+		}
+		page = int64(v)
+	}
+	batch, ok := full(f[3])
+	if !ok {
+		return obs.Event{}, false
+	}
+	v1, ok := full(f[4])
+	if !ok {
+		return obs.Event{}, false
+	}
+	v2, ok := full(f[5])
+	if !ok {
+		return obs.Event{}, false
+	}
+	p := mem.PageID(page)
+	if page == -1 {
+		p = mem.NoPage
+	}
+	return obs.Event{T: t, Kind: kind, Page: p, Batch: batch, V1: v1, V2: v2}, true
+}
+
+// parseCSVEvent parses one CSV row (the strconv slow path).
 func parseCSVEvent(text string) (obs.Event, error) {
 	fields := strings.Split(text, ",")
 	if len(fields) != 6 {

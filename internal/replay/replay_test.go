@@ -31,6 +31,7 @@ func allKindEvents() []obs.Event {
 	events = append(events,
 		obs.Event{T: 42, Kind: obs.KindEvict, Page: mem.NoPage, V1: 1},
 		obs.Event{T: 1<<64 - 1, Kind: obs.KindScan, V1: 1<<64 - 1, V2: 7},
+		obs.Event{T: 7, Kind: obs.KindScan, Page: mem.PageID(1<<63 - 1), Batch: 1<<64 - 1},
 	)
 	return events
 }
