@@ -3,7 +3,8 @@
 GO ?= go
 
 .PHONY: build test race bench bench-micro bench-json bench-compare bench-smoke \
-	verify verify-obs replay-smoke stream-smoke trace-smoke fleet-smoke check-docs
+	verify verify-obs replay-smoke stream-smoke trace-smoke fleet-smoke \
+	spec-smoke check-docs
 
 # The fault-servicing hot-path microbenchmarks (channel deque, EPC page
 # table, end-to-end HandleFault).
@@ -107,18 +108,39 @@ fleet-smoke:
 	done
 	rm -rf .fleet-smoke
 
+# Arrival-spec acceptance: the golden manifest must match the committed
+# fixture, and the compiled spec run through the cluster must be
+# byte-identical between sequential and 8-way host advancement.
+SPEC_SMOKE_ARGS = -spec internal/workload/spec/testdata/fixture.json \
+	-fleet 2 -fleet-policy affinity -scheme dfp-stop
+
+spec-smoke:
+	rm -rf .spec-smoke && mkdir -p .spec-smoke
+	$(GO) test ./internal/workload/spec/ -run TestGoldenManifest -count=1
+	$(GO) run ./cmd/sgxsim $(SPEC_SMOKE_ARGS) -parallel 1 > .spec-smoke/seq.txt
+	$(GO) run ./cmd/sgxsim $(SPEC_SMOKE_ARGS) -parallel 8 > .spec-smoke/par.txt
+	cmp .spec-smoke/seq.txt .spec-smoke/par.txt
+	grep -q 'fixture-two-cohorts: 26 launches' .spec-smoke/seq.txt
+	rm -rf .spec-smoke
+
 # Docs drift gate: every cmd/sgxsim flag must be mentioned in at least
-# one of README.md, OBSERVABILITY.md, or EXPERIMENTS.md.
+# one of README.md, OBSERVABILITY.md, EXPERIMENTS.md, or WORKLOADS.md,
+# and every registered workload must appear (backtick-quoted) in
+# WORKLOADS.md's catalog.
 check-docs:
 	@missing=0; \
 	for f in $$(sed -n 's/.*fs\.\(String\|Bool\|Int\|Float64\)("\([a-z-]*\)".*/\2/p' cmd/sgxsim/main.go); do \
-		grep -q -e "-$$f" README.md OBSERVABILITY.md EXPERIMENTS.md || \
-			{ echo "flag -$$f undocumented in README.md/OBSERVABILITY.md/EXPERIMENTS.md"; missing=1; }; \
+		grep -q -e "-$$f" README.md OBSERVABILITY.md EXPERIMENTS.md WORKLOADS.md || \
+			{ echo "flag -$$f undocumented in README.md/OBSERVABILITY.md/EXPERIMENTS.md/WORKLOADS.md"; missing=1; }; \
 	done; \
-	[ $$missing -eq 0 ] && echo "check-docs: all cmd/sgxsim flags documented"
+	for w in $$($(GO) run ./cmd/sgxsim -list | awk '{print $$1}'); do \
+		grep -q -e "\`$$w\`" WORKLOADS.md || \
+			{ echo "workload $$w missing from WORKLOADS.md"; missing=1; }; \
+	done; \
+	[ $$missing -eq 0 ] && echo "check-docs: all cmd/sgxsim flags and workloads documented"
 
 # The full pre-merge gate.
-verify: verify-obs stream-smoke trace-smoke fleet-smoke check-docs
+verify: verify-obs stream-smoke trace-smoke fleet-smoke spec-smoke check-docs
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test -race ./...

@@ -18,6 +18,8 @@
 //	sgxsim -stream -bench lbm,deepsjeng -scheme dfp-stop  # streamed co-run
 //	sgxsim -bench lbm,mcf,deepsjeng,x264 -shards 2  # fleet: 2 EPC domains
 //	sgxsim -bench lbm,leela,nab,leela -fleet 2 -fleet-policy pressure  # cluster: timed arrivals
+//	sgxsim -spec workload.json -fleet 4             # cluster: spec-compiled arrival cohorts
+//	sgxsim -spec workload.json -fleet 4 -rate-scale 2  # same spec at twice the load
 //	sgxsim -list
 //
 // See OBSERVABILITY.md for the trace schema and the replay/diff/serve
@@ -46,6 +48,7 @@ import (
 	"sgxpreload/internal/sip"
 	"sgxpreload/internal/stats"
 	"sgxpreload/internal/workload"
+	"sgxpreload/internal/workload/spec"
 )
 
 func main() {
@@ -61,6 +64,8 @@ func run(args []string, out io.Writer) error {
 		bench      = fs.String("bench", "microbenchmark", "benchmark name, or a comma-separated list for a shared-EPC co-run (-list to enumerate)")
 		shards     = fs.Int("shards", 1, "with a multi-benchmark -bench list, split the enclaves round-robin over this many independent EPC domains simulated in parallel")
 		fleetHosts = fs.Int("fleet", 0, "simulate a cluster of this many SGX hosts on one shared clock: the -bench list arrives over time (one launch per -arrival-period) and is placed by -fleet-policy")
+		specPath   = fs.String("spec", "", "with -fleet, compile this JSON workload spec (cohorts with arrival processes; see WORKLOADS.md) into the cluster's arrival stream instead of the -bench list")
+		rateScale  = fs.Float64("rate-scale", 1, "with -spec, multiply every cohort's arrival rate (the saturation knob)")
 		fleetPol   = fs.String("fleet-policy", "round-robin", "with -fleet, the placement policy: round-robin | least-loaded | pressure | affinity")
 		arrPeriod  = fs.Int("arrival-period", 1_000_000, "with -fleet, cycles between enclave launches at the fleet front door")
 		admPeriod  = fs.Int("admit-period", 0, "with -fleet, token-bucket admission: cycles per admitted launch (0 = admit everything)")
@@ -113,20 +118,9 @@ func run(args []string, out io.Writer) error {
 	if *repeat == 0 && *serveAddr == "" {
 		return fmt.Errorf("-repeat 0 runs forever; pair it with -serve to watch the run")
 	}
-	var sch sim.Scheme
-	switch strings.ToLower(*scheme) {
-	case "baseline":
-		sch = sim.Baseline
-	case "dfp":
-		sch = sim.DFP
-	case "dfp-stop", "dfpstop":
-		sch = sim.DFPStop
-	case "sip":
-		sch = sim.SIP
-	case "hybrid", "sip+dfp":
-		sch = sim.Hybrid
-	default:
-		return fmt.Errorf("unknown scheme %q", *scheme)
+	sch, err := sim.SchemeByName(strings.ToLower(*scheme))
+	if err != nil {
+		return err
 	}
 
 	d := dfp.DefaultConfig()
@@ -147,8 +141,9 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("unknown eviction policy %q", *policy)
 	}
 
-	// -fleet is the cluster path: the -bench list becomes a timed
-	// arrival stream placed onto -fleet hosts on one shared clock.
+	// -fleet is the cluster path: the -bench list (or a compiled -spec)
+	// becomes a timed arrival stream placed onto -fleet hosts on one
+	// shared clock.
 	if *fleetHosts > 0 {
 		if *compare {
 			return fmt.Errorf("-compare applies to single-benchmark runs")
@@ -166,7 +161,7 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		return runClusterFleet(strings.Split(*bench, ","), clusterOpts{
+		o := clusterOpts{
 			hosts:         *fleetHosts,
 			placement:     pl,
 			arrivalPeriod: uint64(*arrPeriod),
@@ -183,7 +178,14 @@ func run(args []string, out io.Writer) error {
 			threshold:     *threshold,
 			tracePath:     *tracePath,
 			workers:       *parallel,
-		}, out)
+		}
+		if *specPath != "" {
+			return runSpecFleet(*specPath, *rateScale, o, out)
+		}
+		return runClusterFleet(strings.Split(*bench, ","), o, out)
+	}
+	if *specPath != "" {
+		return fmt.Errorf("-spec compiles a cluster arrival stream; pair it with -fleet N")
 	}
 
 	// A comma-separated -bench list (or an explicit -shards) is a
@@ -594,7 +596,40 @@ func runClusterFleet(names []string, o clusterOpts, out io.Writer) error {
 		}
 		arrivals[i] = fleet.Arrival{At: uint64(i) * o.arrivalPeriod, Enclave: enc}
 	}
+	return runFleetArrivals(arrivals, o, out)
+}
 
+// runSpecFleet compiles a JSON workload spec into the cluster's arrival
+// stream and drives it through the same fleet tail as the -bench list
+// path. The compilation is seeded by the spec, so the whole run —
+// launch times, workload picks, modifiers, placements, and the report —
+// is identical at any -parallel setting.
+func runSpecFleet(path string, rateScale float64, o clusterOpts, out io.Writer) error {
+	s, err := spec.Load(path)
+	if err != nil {
+		return err
+	}
+	arrivals, m, err := spec.Compile(s, spec.Options{
+		Scheme:            o.scheme,
+		DFP:               o.dfp,
+		Predictor:         o.predictor,
+		BackgroundReclaim: o.reclaim,
+		RateScale:         rateScale,
+		Selection: func(w *workload.Workload) (*sip.Selection, error) {
+			return buildSelection(w, o.epcPages, o.dfp, o.threshold, true)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "spec:             %s: %d launches from %d cohort(s) before cycle %d (rate x%g)\n",
+		m.Spec, len(m.Launches), len(s.Cohorts), m.Horizon, rateScale)
+	return runFleetArrivals(arrivals, o, out)
+}
+
+// runFleetArrivals is the shared cluster tail: place the arrival stream
+// onto o.hosts hosts, run to completion, and print the per-host report.
+func runFleetArrivals(arrivals []fleet.Arrival, o clusterOpts, out io.Writer) error {
 	cfg := fleet.Config{
 		Hosts:       o.hosts,
 		Policy:      o.placement,
@@ -620,6 +655,7 @@ func runClusterFleet(names []string, o clusterOpts, out io.Writer) error {
 			s, err := obs.NewStreamSinkFile(path)
 			if err != nil {
 				closeSinks()
+				fleet.CloseArrivals(arrivals)
 				return err
 			}
 			sinks = append(sinks, s)

@@ -663,3 +663,75 @@ func TestTraceSmoke(t *testing.T) {
 	t.Logf("10.2M accesses traced twice: peak heap %.1f MiB (floor %.1f MiB)",
 		float64(peak.Load())/(1<<20), float64(floor)/(1<<20))
 }
+
+const fixtureSpec = "../../internal/workload/spec/testdata/fixture.json"
+
+// TestSpecFleet runs the committed fixture spec through the cluster
+// path and checks the compile summary plus per-cohort enclaves appear.
+func TestSpecFleet(t *testing.T) {
+	var buf strings.Builder
+	err := run([]string{"-spec", fixtureSpec, "-fleet", "2", "-fleet-policy", "affinity",
+		"-scheme", "dfp-stop"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"spec:", "fixture-two-cohorts", "26 launches", "steady.leela/", "diurnal.exchange2/",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("spec fleet output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestSpecFleetDeterministicAcrossParallelism: the whole report must be
+// byte-identical whether hosts advance sequentially or 8-way.
+func TestSpecFleetDeterministicAcrossParallelism(t *testing.T) {
+	var outs []string
+	for _, par := range []string{"1", "8"} {
+		var buf strings.Builder
+		err := run([]string{"-spec", fixtureSpec, "-fleet", "3", "-fleet-policy", "least-loaded",
+			"-scheme", "dfp", "-parallel", par}, &buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		outs = append(outs, buf.String())
+	}
+	if outs[0] != outs[1] {
+		t.Errorf("-spec fleet output differs across -parallel:\n%s\nvs\n%s", outs[0], outs[1])
+	}
+}
+
+// TestSpecRateScale: doubling -rate-scale must grow the launch count.
+func TestSpecRateScale(t *testing.T) {
+	count := func(scale string) string {
+		var buf strings.Builder
+		err := run([]string{"-spec", fixtureSpec, "-fleet", "1", "-rate-scale", scale}, &buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		line, _, _ := strings.Cut(buf.String(), "\n")
+		return line
+	}
+	at1, at4 := count("1"), count("4")
+	if at1 == at4 {
+		t.Errorf("-rate-scale 4 compile summary identical to x1: %s", at4)
+	}
+	if !strings.Contains(at4, "rate x4") {
+		t.Errorf("summary does not echo the rate scale: %s", at4)
+	}
+}
+
+func TestSpecFlagErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-spec", fixtureSpec},                      // no -fleet
+		{"-spec", "no/such/spec.json", "-fleet", "2"},
+		{"-spec", fixtureSpec, "-fleet", "2", "-rate-scale", "-1"},
+	} {
+		var buf strings.Builder
+		if err := run(args, &buf); err == nil {
+			t.Errorf("%v: expected error", args)
+		}
+	}
+}

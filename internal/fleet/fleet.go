@@ -449,6 +449,13 @@ func forEachHost(n, workers int, fn func(int) error) error {
 	return nil
 }
 
+// CloseArrivals releases the closeable streams of arrivals that will
+// never reach an engine — for callers that built an arrival slice (for
+// instance by compiling a workload spec) and then abandon it without
+// running. Run itself closes its arrivals' streams on every path, so
+// callers that hand the slice to Run must not also call this.
+func CloseArrivals(arrivals []Arrival) { closeArrivalStreams(arrivals) }
+
 // closeArrivalStreams releases closeable streams of arrivals that never
 // reached an engine — the fleet-level counterpart of Engine.Close on
 // validation and mid-run failure paths.

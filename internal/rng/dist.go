@@ -1,0 +1,77 @@
+package rng
+
+import "math"
+
+// Distribution samplers for the arrival-process workload specs
+// (internal/workload/spec). Each sampler draws from this Source only, so
+// a seeded Source yields the same variate sequence on every run — the
+// property the spec compiler's determinism guarantee rests on. Samplers
+// with rejection loops (Gamma) consume a variable number of raw draws,
+// which is fine: consumption is still a pure function of the seed.
+//
+// All samplers are normalized so the caller scales to its own units:
+// Exp has mean 1, Normal is standard, Gamma(k) has mean k, Weibull(k)
+// has mean GammaFunc(1+1/k).
+
+// Exp returns an exponentially distributed variate with mean 1 — the
+// inter-arrival law of a Poisson process — by inversion.
+func (s *Source) Exp() float64 {
+	// 1-U lies in (0, 1], so the log argument is never zero.
+	return -math.Log(1 - s.Float64())
+}
+
+// Normal returns a standard normal variate via Box-Muller. Each call
+// consumes exactly two uniforms and keeps no spare, so the draw count
+// per variate is fixed — simpler to reason about than the polar method's
+// cached pair when auditing a seeded stream.
+func (s *Source) Normal() float64 {
+	u := 1 - s.Float64() // (0, 1]
+	v := s.Float64()
+	return math.Sqrt(-2*math.Log(u)) * math.Cos(2*math.Pi*v)
+}
+
+// Gamma returns a Gamma(shape, 1) variate (mean shape, variance shape)
+// using Marsaglia-Tsang squeeze rejection for shape >= 1 and the
+// standard boost Gamma(k) = Gamma(k+1)·U^(1/k) below it. It panics if
+// shape is not positive. Normalizing by shape gives a mean-1 renewal
+// interval with coefficient of variation 1/sqrt(shape) — the knob the
+// spec layer exposes as "cv".
+func (s *Source) Gamma(shape float64) float64 {
+	if !(shape > 0) {
+		panic("rng: Gamma with non-positive shape")
+	}
+	if shape < 1 {
+		g := s.Gamma(shape + 1)
+		u := 1 - s.Float64()
+		return g * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := s.Normal()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := 1 - s.Float64()
+		// The cheap squeeze accepts the bulk; the exact log test the rest.
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if math.Log(u) < 0.5*x*x+d-d*v+d*math.Log(v) {
+			return d * v
+		}
+	}
+}
+
+// Weibull returns a Weibull(shape, 1) variate by inversion (mean
+// GammaFunc(1+1/shape)). It panics if shape is not positive. Shape < 1
+// gives a heavy-tailed, bursty renewal process; shape > 1 an
+// increasingly regular one; shape 1 is the exponential.
+func (s *Source) Weibull(shape float64) float64 {
+	if !(shape > 0) {
+		panic("rng: Weibull with non-positive shape")
+	}
+	return math.Pow(-math.Log(1-s.Float64()), 1/shape)
+}

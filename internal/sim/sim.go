@@ -57,6 +57,26 @@ func (s Scheme) String() string {
 	}
 }
 
+// SchemeByName resolves a scheme's flag/spec spelling (lower-cased:
+// baseline, dfp, dfp-stop, sip, hybrid) to its Scheme. Both CLI flags
+// and workload-spec files funnel through it, so the accepted names
+// cannot drift between the two surfaces.
+func SchemeByName(name string) (Scheme, error) {
+	switch name {
+	case "baseline":
+		return Baseline, nil
+	case "dfp":
+		return DFP, nil
+	case "dfp-stop", "dfpstop":
+		return DFPStop, nil
+	case "sip":
+		return SIP, nil
+	case "hybrid", "sip+dfp":
+		return Hybrid, nil
+	}
+	return 0, fmt.Errorf("sim: unknown scheme %q (want baseline, dfp, dfp-stop, sip, or hybrid)", name)
+}
+
 // UsesDFP reports whether the scheme runs the fault-history predictor.
 func (s Scheme) UsesDFP() bool { return s == DFP || s == DFPStop || s == Hybrid }
 

@@ -1,0 +1,58 @@
+package workload_test
+
+import (
+	"fmt"
+
+	"sgxpreload/internal/workload"
+)
+
+// Look up a registered benchmark model and inspect its Table 1 row.
+func ExampleByName() {
+	w, err := workload.ByName("leela")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(w.Name, "-", w.Category)
+	fmt.Println("footprint pages:", w.FootprintPages)
+	fmt.Println("instrumentable:", w.Instrumentable)
+	// Output:
+	// leela - small working set
+	// footprint pages: 700
+	// instrumentable: true
+}
+
+// Pull accesses one at a time without materializing the trace. The same
+// (workload, input) pair always streams the identical accesses.
+func ExampleWorkload_Stream() {
+	w, err := workload.ByName("exchange2")
+	if err != nil {
+		panic(err)
+	}
+	s := w.Stream(workload.Train)
+	for i := 0; i < 3; i++ {
+		a, ok := s.Next()
+		if !ok {
+			break
+		}
+		fmt.Printf("site %d page %d\n", a.Site, a.Page)
+	}
+	// An early stop must release the generator coroutine.
+	s.(interface{ Close() }).Close()
+	// Output:
+	// site 7401 page 184
+	// site 7401 page 168
+	// site 7401 page 106
+}
+
+// Enumerate a Table 1 category.
+func ExampleByCategory() {
+	for _, w := range workload.ByCategory(workload.SmallWS) {
+		fmt.Println(w.Name)
+	}
+	// Output:
+	// cactuBSSN
+	// exchange2
+	// imagick
+	// leela
+	// nab
+}

@@ -1,0 +1,41 @@
+package spec
+
+import (
+	"flag"
+	"os"
+	"testing"
+
+	"sgxpreload/internal/fleet"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestGoldenManifest pins the fixture spec's compiled manifest byte for
+// byte. A diff here means arrival generation changed behaviour —
+// sampler order, seeding, envelope handling, or tie-breaking — which is
+// an intentional, reviewed event, never drift. Regenerate with
+// `go test ./internal/workload/spec -run TestGoldenManifest -update`.
+func TestGoldenManifest(t *testing.T) {
+	s := loadFixture(t)
+	arrivals, m, err := Compile(s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet.CloseArrivals(arrivals)
+	got := m.String()
+	const path = "testdata/fixture.golden"
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	if got != string(want) {
+		t.Fatalf("manifest diverged from %s (regenerate with -update if intentional)\ngot:\n%s\nwant:\n%s",
+			path, got, want)
+	}
+}
