@@ -4,7 +4,7 @@ GO ?= go
 
 .PHONY: build test race bench bench-micro bench-json bench-compare bench-smoke \
 	verify verify-obs replay-smoke stream-smoke trace-smoke fleet-smoke \
-	spec-smoke check-docs
+	spec-smoke quota-smoke check-docs
 
 # The fault-servicing hot-path microbenchmarks (channel deque, EPC page
 # table, end-to-end HandleFault).
@@ -123,6 +123,24 @@ spec-smoke:
 	grep -q 'fixture-two-cohorts: 26 launches' .spec-smoke/seq.txt
 	rm -rf .spec-smoke
 
+# EPC-quota acceptance: the cluster grid under each -quota policy, with
+# the report required byte-identical between sequential and parallel
+# host advancement, and the global policy required byte-identical to a
+# run with no -quota flag at all (quotas off = the pre-arbiter engine).
+quota-smoke:
+	rm -rf .quota-smoke && mkdir -p .quota-smoke
+	$(GO) run ./cmd/sgxsim $(FLEET_SMOKE_ARGS) -parallel 1 > .quota-smoke/none.txt
+	for q in global static prop adaptive; do \
+		$(GO) run ./cmd/sgxsim $(FLEET_SMOKE_ARGS) -quota $$q -parallel 1 \
+			> .quota-smoke/$$q.seq.txt || exit 1; \
+		$(GO) run ./cmd/sgxsim $(FLEET_SMOKE_ARGS) -quota $$q -parallel 8 \
+			> .quota-smoke/$$q.par.txt || exit 1; \
+		cmp .quota-smoke/$$q.seq.txt .quota-smoke/$$q.par.txt || exit 1; \
+	done
+	cmp .quota-smoke/none.txt .quota-smoke/global.seq.txt
+	grep -q 'quota' .quota-smoke/adaptive.seq.txt
+	rm -rf .quota-smoke
+
 # Docs drift gate: every cmd/sgxsim flag must be mentioned in at least
 # one of README.md, OBSERVABILITY.md, EXPERIMENTS.md, or WORKLOADS.md,
 # and every registered workload must appear (backtick-quoted) in
@@ -140,7 +158,7 @@ check-docs:
 	[ $$missing -eq 0 ] && echo "check-docs: all cmd/sgxsim flags and workloads documented"
 
 # The full pre-merge gate.
-verify: verify-obs stream-smoke trace-smoke fleet-smoke spec-smoke check-docs
+verify: verify-obs stream-smoke trace-smoke fleet-smoke spec-smoke quota-smoke check-docs
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test -race ./...

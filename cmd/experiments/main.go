@@ -64,6 +64,7 @@ func all() []experiment {
 		{"ablation-shared", "multi-enclave EPC sharing (paper §5.6)", wrap(experiments.SharedEPC)},
 		{"fleet-sharded", "fleet over independent EPC domains (sharded runner)", wrap(experiments.ShardedFleet)},
 		{"fleet-policies", "cluster placement policies vs p99 fault latency (fleet layer)", wrap(experiments.FleetPolicies)},
+		{"epc-partition", "per-enclave EPC quota policies on a hog-skewed co-run", wrap(experiments.EPCPartition)},
 		{"saturation", "arrival-spec rate sweep to the admission/latency knee", wrap(experiments.Saturation)},
 		{"ablation-backward", "descending-stream recognition", wrap(experiments.BackwardStreams)},
 		{"ablation-reclaim", "sync vs background (ksgxswapd) EWB reclaim", wrap(experiments.ReclaimAblation)},

@@ -39,6 +39,7 @@ import (
 	"sgxpreload/internal/core"
 	"sgxpreload/internal/dfp"
 	"sgxpreload/internal/epc"
+	"sgxpreload/internal/epc/arbiter"
 	"sgxpreload/internal/experiments"
 	"sgxpreload/internal/fleet"
 	"sgxpreload/internal/mem"
@@ -77,6 +78,7 @@ func run(args []string, out io.Writer) error {
 		threshold  = fs.Float64("threshold", 0.05, "SIP irregular-access-ratio threshold")
 		predictor  = fs.String("predictor", "multistream", "fault-history strategy: multistream | stride | markov | nextn")
 		policy     = fs.String("policy", "clock", "EPC eviction: clock | fifo | lru | random")
+		quotaName  = fs.String("quota", "global", "per-enclave EPC quota policy: global | static | prop | adaptive (global = no quotas; see DESIGN.md)")
 		reclaim    = fs.Bool("reclaim", false, "enable the ksgxswapd-style background reclaimer")
 		streamMode = fs.Bool("stream", false, "pull accesses from the workload generator on demand instead of materializing the trace (O(1) memory)")
 		repeat     = fs.Int("repeat", 1, "with -stream, replay the workload's trace this many times back-to-back (0 = run until interrupted; pair with -serve)")
@@ -140,6 +142,10 @@ func run(args []string, out io.Writer) error {
 	default:
 		return fmt.Errorf("unknown eviction policy %q", *policy)
 	}
+	quota, err := arbiter.ByName(strings.ToLower(*quotaName))
+	if err != nil {
+		return err
+	}
 
 	// -fleet is the cluster path: the -bench list (or a compiled -spec)
 	// becomes a timed arrival stream placed onto -fleet hosts on one
@@ -171,6 +177,7 @@ func run(args []string, out io.Writer) error {
 			dfp:           d,
 			predictor:     core.Kind(strings.ToLower(*predictor)),
 			policy:        pol,
+			quota:         quota,
 			epcPages:      *epcPages,
 			stream:        *streamMode,
 			repeat:        *repeat,
@@ -201,6 +208,7 @@ func run(args []string, out io.Writer) error {
 			dfp:        d,
 			predictor:  core.Kind(strings.ToLower(*predictor)),
 			policy:     pol,
+			quota:      quota,
 			epcPages:   *epcPages,
 			shards:     *shards,
 			stream:     *streamMode,
@@ -225,6 +233,7 @@ func run(args []string, out io.Writer) error {
 		DFP:               d,
 		Predictor:         core.Kind(strings.ToLower(*predictor)),
 		EvictPolicy:       pol,
+		Quota:             quota,
 		BackgroundReclaim: *reclaim,
 	}
 	if sch.UsesSIP() {
@@ -379,6 +388,7 @@ type fleetOpts struct {
 	dfp        dfp.Config
 	predictor  core.Kind
 	policy     epc.Policy
+	quota      arbiter.Policy
 	epcPages   int
 	shards     int
 	stream     bool
@@ -442,7 +452,7 @@ func runFleet(names []string, o fleetOpts, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	scfg := sim.SharedConfig{EPCPages: o.epcPages, EvictPolicy: o.policy}
+	scfg := sim.SharedConfig{EPCPages: o.epcPages, EvictPolicy: o.policy, Quota: o.quota}
 
 	// -trace streams per shard: one sink per EPC domain, resolved through
 	// the per-shard HookFactory. A single-shard run keeps the flat path
@@ -503,8 +513,8 @@ func runFleet(names []string, o fleetOpts, out io.Writer) error {
 		return err
 	}
 
-	fmt.Fprintf(out, "fleet:            %d enclaves over %d shard(s), EPC %d pages per shard, scheme %s\n",
-		len(encs), len(groups), o.epcPages, o.scheme)
+	fmt.Fprintf(out, "fleet:            %d enclaves over %d shard(s), EPC %d pages per shard, scheme %s%s\n",
+		len(encs), len(groups), o.epcPages, o.scheme, quotaTag(o.quota))
 	tbl := &stats.Table{Header: []string{
 		"shard", "enclave", "cycles", "accesses", "hits", "faults", "preloads", "fault-cycles",
 	}}
@@ -549,6 +559,7 @@ type clusterOpts struct {
 	dfp           dfp.Config
 	predictor     core.Kind
 	policy        epc.Policy
+	quota         arbiter.Policy
 	epcPages      int
 	stream        bool
 	repeat        int
@@ -633,7 +644,7 @@ func runFleetArrivals(arrivals []fleet.Arrival, o clusterOpts, out io.Writer) er
 	cfg := fleet.Config{
 		Hosts:       o.hosts,
 		Policy:      o.placement,
-		Platform:    sim.SharedConfig{EPCPages: o.epcPages, EvictPolicy: o.policy},
+		Platform:    sim.SharedConfig{EPCPages: o.epcPages, EvictPolicy: o.policy, Quota: o.quota},
 		AdmitPeriod: o.admitPeriod,
 		AdmitBurst:  o.admitBurst,
 		Workers:     o.workers,
@@ -671,12 +682,16 @@ func runFleetArrivals(arrivals []fleet.Arrival, o clusterOpts, out io.Writer) er
 
 	fmt.Fprint(out, res.String())
 	tbl := &stats.Table{Header: []string{
-		"host", "enclave", "cycles", "accesses", "hits", "faults", "preloads",
+		"host", "enclave", "cycles", "accesses", "hits", "faults", "preloads", "resident", "quota",
 	}}
 	for h, hr := range res.Hosts {
-		for _, r := range hr.Enclaves {
+		for i, r := range hr.Enclaves {
+			quotaCol := "-" // Global policy: no quotas
+			if hr.Quota != nil {
+				quotaCol = fmt.Sprint(hr.Quota[i])
+			}
 			tbl.Add(h, r.Name, r.Cycles, r.Accesses, r.Hits, r.Kernel.DemandFaults,
-				r.Kernel.PreloadsStarted)
+				r.Kernel.PreloadsStarted, hr.Resident[i], quotaCol)
 		}
 	}
 	fmt.Fprint(out, tbl.String())
@@ -692,6 +707,15 @@ func runFleetArrivals(arrivals []fleet.Arrival, o clusterOpts, out io.Writer) er
 		fmt.Fprintf(out, "trace host %d:     %d events -> %s\n", h, s.Events(), sinkPaths[h])
 	}
 	return nil
+}
+
+// quotaTag renders the quota policy for run headers; empty under the
+// Global default so existing output stays byte-identical.
+func quotaTag(q arbiter.Policy) string {
+	if q == arbiter.Global {
+		return ""
+	}
+	return fmt.Sprintf(", quota %s", q)
 }
 
 // taggedTracePath inserts a per-domain tag before the path's extension:

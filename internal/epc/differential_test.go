@@ -42,6 +42,7 @@ func TestPageTableDifferential(t *testing.T) {
 		capacity = 8
 		pages    = 128
 		steps    = 8000
+		owners   = 4 // pages split into 4 equal owner ranges
 	)
 	for _, policy := range []Policy{PolicyClock, PolicyFIFO, PolicyLRU, PolicyRandom} {
 		t.Run(policy.String(), func(t *testing.T) {
@@ -49,6 +50,11 @@ func TestPageTableDifferential(t *testing.T) {
 				e, err := NewWithPolicy(capacity, pages, policy)
 				if err != nil {
 					t.Fatal(err)
+				}
+				for o := 1; o <= owners; o++ {
+					if err := e.AddOwner(uint64(o) * pages / owners); err != nil {
+						t.Fatal(err)
+					}
 				}
 				return e
 			}
@@ -61,7 +67,7 @@ func TestPageTableDifferential(t *testing.T) {
 			r := rng.New(1337)
 			for i := 0; i < steps; i++ {
 				p := mem.PageID(r.Intn(pages))
-				switch r.Intn(5) {
+				switch r.Intn(6) {
 				case 0: // load (evicting if full), preload flag varies
 					if dense.Present(p) != sparse.Present(p) {
 						t.Fatalf("step %d: Present(%d) diverges", i, p)
@@ -100,9 +106,26 @@ func TestPageTableDifferential(t *testing.T) {
 					if dense.Preloaded(p) != sparse.Preloaded(p) || dense.Accessed(p) != sparse.Accessed(p) {
 						t.Fatalf("step %d: frame bits diverge for page %d", i, p)
 					}
+				case 5: // owner-filtered victim scan
+					o := r.Intn(owners)
+					if dv, sv := dense.SelectVictimOwned(o), sparse.SelectVictimOwned(o); dv != sv {
+						t.Fatalf("step %d: SelectVictimOwned(%d) diverges: dense %d, sparse %d", i, o, dv, sv)
+					}
 				}
 				if dense.Resident() != sparse.Resident() {
 					t.Fatalf("step %d: Resident diverges: %d vs %d", i, dense.Resident(), sparse.Resident())
+				}
+				// Ownership invariant: per-owner counts agree across the
+				// two implementations and sum to the resident total.
+				sum := 0
+				for o := 0; o < owners; o++ {
+					if dr, sr := dense.OwnerResident(o), sparse.OwnerResident(o); dr != sr {
+						t.Fatalf("step %d: OwnerResident(%d) diverges: %d vs %d", i, o, dr, sr)
+					}
+					sum += dense.OwnerResident(o)
+				}
+				if sum != dense.Resident() {
+					t.Fatalf("step %d: owner counts sum to %d, Resident is %d", i, sum, dense.Resident())
 				}
 			}
 			// Final state must agree bit for bit.

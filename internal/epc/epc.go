@@ -68,6 +68,7 @@ type frame struct {
 	page      mem.PageID // resident virtual page, mem.NoPage if free
 	accessed  bool       // hardware access bit
 	preload   bool       // page arrived via preloading, not a demand fault
+	owner     int32      // owning enclave, stamped at Load, reset at Evict
 	loadedAt  uint64     // load sequence number (FIFO policy)
 	touchedAt uint64     // touch sequence number (LRU policy)
 }
@@ -90,6 +91,14 @@ type EPC struct {
 	policy  Policy
 	seq     uint64 // load/touch sequence counter for FIFO/LRU
 	rnd     uint64 // xorshift state for PolicyRandom
+	// Ownership: the shared page space is a sequence of disjoint
+	// per-enclave ranges registered in ascending order via AddOwner.
+	// ownerHi[i] is the exclusive upper bound of owner i's range (its
+	// lower bound is ownerHi[i-1], or 0 for owner 0). With no owners
+	// registered every page belongs to the implicit owner 0 — the solo
+	// degenerate case, where ownership is pure bookkeeping.
+	ownerHi    []mem.PageID
+	resByOwner []int // resident frame count per owner
 }
 
 // New returns an EPC with capacity physical frames serving an enclave
@@ -118,6 +127,8 @@ func NewWithPolicy(capacity int, elrangePages uint64, policy Policy) (*EPC, erro
 		pages:   elrangePages,
 		policy:  policy,
 		rnd:     0x2545f4914f6cdd1d,
+		// One counter for the implicit owner 0 until AddOwner is called.
+		resByOwner: make([]int, 1),
 	}
 	for i := range e.frames {
 		e.frames[i].page = mem.NoPage
@@ -147,6 +158,79 @@ func (e *EPC) Grow(newPages uint64) error {
 	e.present.Grow(newPages)
 	e.pages = newPages
 	return nil
+}
+
+// AddOwner registers the next enclave's page range, whose exclusive
+// upper bound is hi (its lower bound is the previous owner's bound, or 0
+// for the first owner). Ranges must be registered in ascending order
+// before any page inside them is loaded, matching Engine.Admit, which
+// grows the page space and registers the new range before the admitted
+// enclave runs. Ownership is pure bookkeeping: it never changes which
+// victim the global SelectVictim picks.
+func (e *EPC) AddOwner(hi uint64) error {
+	if hi > e.pages {
+		return fmt.Errorf("epc: owner bound %d beyond ELRANGE of %d pages", hi, e.pages)
+	}
+	var lo mem.PageID
+	if n := len(e.ownerHi); n > 0 {
+		lo = e.ownerHi[n-1]
+	}
+	if mem.PageID(hi) <= lo {
+		return fmt.Errorf("epc: owner bound %d not above previous bound %d", hi, lo)
+	}
+	e.ownerHi = append(e.ownerHi, mem.PageID(hi))
+	if len(e.ownerHi) > 1 {
+		e.resByOwner = append(e.resByOwner, 0)
+	}
+	return nil
+}
+
+// ownerOf maps a page to its owning enclave index: binary search over the
+// ascending range bounds, or the implicit owner 0 when none are
+// registered.
+func (e *EPC) ownerOf(page mem.PageID) int32 {
+	lo, hi := 0, len(e.ownerHi)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if page >= e.ownerHi[mid] {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return int32(lo)
+}
+
+// Owners returns the number of registered owner ranges (0 when the EPC is
+// running in the implicit single-owner mode).
+func (e *EPC) Owners() int { return len(e.ownerHi) }
+
+// OwnerOf returns the owner index of page.
+func (e *EPC) OwnerOf(page mem.PageID) int { return int(e.ownerOf(page)) }
+
+// OwnerResident returns the number of frames currently held by owner.
+func (e *EPC) OwnerResident(owner int) int {
+	if owner < 0 || owner >= len(e.resByOwner) {
+		return 0
+	}
+	return e.resByOwner[owner]
+}
+
+// OwnerScanStats counts owner's resident frames and how many of them have
+// the access bit set, without disturbing any bits. The adaptive quota
+// policy samples it at scan boundaries as its working-set signal.
+func (e *EPC) OwnerScanStats(owner int) (accessed, resident int) {
+	for i := range e.frames {
+		fr := &e.frames[i]
+		if fr.page == mem.NoPage || int(fr.owner) != owner {
+			continue
+		}
+		resident++
+		if fr.accessed {
+			accessed++
+		}
+	}
+	return accessed, resident
 }
 
 // Capacity returns the number of physical frames.
@@ -204,13 +288,16 @@ func (e *EPC) Load(page mem.PageID, preloaded bool) error {
 	f := e.free[len(e.free)-1]
 	e.free = e.free[:len(e.free)-1]
 	e.seq++
+	owner := e.ownerOf(page)
 	e.frames[f] = frame{
 		page:      page,
 		accessed:  !preloaded,
 		preload:   preloaded,
+		owner:     owner,
 		loadedAt:  e.seq,
 		touchedAt: e.seq,
 	}
+	e.resByOwner[owner]++
 	e.pt.set(page, f)
 	e.present.Set(uint64(page))
 	return nil
@@ -223,6 +310,7 @@ func (e *EPC) Evict(page mem.PageID) bool {
 	if !ok {
 		return false
 	}
+	e.resByOwner[e.frames[f].owner]--
 	e.frames[f] = frame{page: mem.NoPage}
 	e.free = append(e.free, f)
 	e.pt.remove(page)
@@ -265,6 +353,78 @@ func (e *EPC) SelectVictim() mem.PageID {
 	// Unreachable: two sweeps over a non-empty table must find a frame
 	// whose bit was cleared on the first pass.
 	panic("epc: CLOCK failed to select a victim")
+}
+
+// SelectVictimOwned is SelectVictim restricted to frames held by owner:
+// the quota arbiter uses it to make an over-quota enclave self-evict or
+// to steal from a specific over-quota owner. It returns mem.NoPage when
+// owner holds no frames (the caller falls back to the global scan).
+//
+// The filtered CLOCK shares the global hand but gives other owners'
+// frames a free pass — their access bits are NOT cleared, so arbitrated
+// and global runs age foreign frames identically. The filtered Random
+// scan draws from the same xorshift stream as the global one (acceptable
+// because the two are never mixed within one run: a run either uses the
+// arbiter everywhere or nowhere).
+func (e *EPC) SelectVictimOwned(owner int) mem.PageID {
+	if e.OwnerResident(owner) == 0 {
+		return mem.NoPage
+	}
+	o := int32(owner)
+	switch e.policy {
+	case PolicyFIFO:
+		return e.victimByMinOwned(o, func(fr *frame) uint64 { return fr.loadedAt })
+	case PolicyLRU:
+		return e.victimByMinOwned(o, func(fr *frame) uint64 { return fr.touchedAt })
+	case PolicyRandom:
+		return e.victimRandomOwned(o)
+	}
+	for sweep := 0; sweep < 2*len(e.frames); sweep++ {
+		fr := &e.frames[e.hand]
+		e.hand = (e.hand + 1) % len(e.frames)
+		if fr.page == mem.NoPage || fr.owner != o {
+			continue
+		}
+		if fr.accessed {
+			fr.accessed = false
+			continue
+		}
+		return fr.page
+	}
+	// Unreachable: owner holds >= 1 frame, and two sweeps must find one
+	// whose bit was cleared on the first pass.
+	panic("epc: owned CLOCK failed to select a victim")
+}
+
+// victimByMinOwned scans for owner's occupied frame minimizing key.
+func (e *EPC) victimByMinOwned(owner int32, key func(*frame) uint64) mem.PageID {
+	victim := mem.NoPage
+	best := uint64(0)
+	for i := range e.frames {
+		fr := &e.frames[i]
+		if fr.page == mem.NoPage || fr.owner != owner {
+			continue
+		}
+		if k := key(fr); victim == mem.NoPage || k < best {
+			victim, best = fr.page, k
+		}
+	}
+	return victim
+}
+
+// victimRandomOwned picks a uniformly random frame held by owner
+// (rejection sampling; terminates because the caller checked owner holds
+// at least one frame).
+func (e *EPC) victimRandomOwned(owner int32) mem.PageID {
+	for {
+		e.rnd ^= e.rnd << 13
+		e.rnd ^= e.rnd >> 7
+		e.rnd ^= e.rnd << 17
+		fr := &e.frames[e.rnd%uint64(len(e.frames))]
+		if fr.page != mem.NoPage && fr.owner == owner {
+			return fr.page
+		}
+	}
 }
 
 // victimByMin scans for the occupied frame minimizing key.
@@ -352,6 +512,7 @@ func (e *EPC) ResidentPages() []mem.PageID {
 func (e *EPC) CheckInvariants() error {
 	occupied := 0
 	seen := make(map[FrameID]bool, len(e.frames))
+	resByOwner := make([]int, len(e.resByOwner))
 	for i := range e.frames {
 		p := e.frames[i].page
 		if p == mem.NoPage {
@@ -367,6 +528,25 @@ func (e *EPC) CheckInvariants() error {
 		if !e.present.Get(uint64(p)) {
 			return fmt.Errorf("epc: resident page %d absent from presence bitmap", p)
 		}
+		if o := e.frames[i].owner; o != e.ownerOf(p) {
+			return fmt.Errorf("epc: frame %d (page %d) stamped owner %d, range says %d",
+				i, p, o, e.ownerOf(p))
+		}
+		resByOwner[e.frames[i].owner]++
+	}
+	// Per-owner resident counters must agree with the frame stamps and
+	// sum to the occupied total.
+	ownedTotal := 0
+	for o, n := range resByOwner {
+		if e.resByOwner[o] != n {
+			return fmt.Errorf("epc: owner %d counter says %d resident, frames say %d",
+				o, e.resByOwner[o], n)
+		}
+		ownedTotal += n
+	}
+	if ownedTotal != occupied {
+		return fmt.Errorf("epc: per-owner counts sum to %d, %d frames occupied",
+			ownedTotal, occupied)
 	}
 	// Entry counts matching plus every occupied frame resolving back to
 	// itself rules out stale or duplicated page-table entries.

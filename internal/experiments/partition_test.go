@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"sgxpreload/internal/epc/arbiter"
+)
+
+// TestEPCPartition pins the study's headline: on the hog-skew grid,
+// adaptive partitioning reduces the starved enclave's fault p99 below
+// global CLOCK's — the quota bounds the hog's theft, so the smalls'
+// faults stop queueing behind its storm.
+func TestEPCPartition(t *testing.T) {
+	a, err := EPCPartition(sharedRunner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Results) != len(a.Policies) || len(a.Policies) != 4 {
+		t.Fatalf("got %d results for %d policies, want 4", len(a.Results), len(a.Policies))
+	}
+	for pi, q := range a.Policies {
+		if len(a.Results[pi]) != len(a.Names) {
+			t.Fatalf("quota %v: %d enclave results, want %d", q, len(a.Results[pi]), len(a.Names))
+		}
+		for e, res := range a.Results[pi] {
+			if res.Accesses == 0 || res.Hits+res.Kernel.DemandFaults != res.Accesses {
+				t.Errorf("quota %v enclave %s: conservation violated", q, res.Name)
+			}
+			quota := a.Quotas[pi][e]
+			if q == arbiter.Global && quota != 0 {
+				t.Errorf("Global policy recorded quota %d for %s", quota, res.Name)
+			}
+			if q != arbiter.Global && quota < 1 {
+				t.Errorf("quota %v enclave %s: final quota %d below the floor", q, res.Name, quota)
+			}
+		}
+	}
+
+	globalP99 := a.StarvedP99(arbiter.Global)
+	adaptiveP99 := a.StarvedP99(arbiter.Adaptive)
+	if math.IsNaN(globalP99) || math.IsNaN(adaptiveP99) {
+		t.Fatalf("starved p99 undefined: global %v, adaptive %v (the grid must fault)", globalP99, adaptiveP99)
+	}
+	if !(adaptiveP99 < globalP99) {
+		t.Errorf("adaptive starved-enclave p99 %.0f is not below global CLOCK's %.0f", adaptiveP99, globalP99)
+	}
+
+	out := a.String()
+	for _, want := range []string{"quota", "fault-p99", "global", "adaptive", "lbm", "worst small-enclave"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}

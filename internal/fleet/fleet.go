@@ -36,6 +36,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"sgxpreload/internal/epc/arbiter"
 	"sgxpreload/internal/mem"
 	"sgxpreload/internal/obs"
 	"sgxpreload/internal/sim"
@@ -136,6 +137,13 @@ type HostReport struct {
 	Enclaves []sim.SharedResult
 	// EPCResident is the host's occupied frame count at end of run.
 	EPCResident int
+	// Resident holds each enclave's resident frame count at end of run,
+	// indexed like Enclaves; the entries sum to EPCResident.
+	Resident []int
+	// Quota holds each enclave's EPC quota under the host's arbitration
+	// policy (Platform.Quota), indexed like Enclaves; nil when the host
+	// runs the Global policy (no quotas).
+	Quota []int
 	// Faults is the number of demand faults the host serviced.
 	Faults int
 	// FaultP50, FaultP95, and FaultP99 are the host's fault-service
@@ -268,9 +276,23 @@ func Run(arrivals []Arrival, cfg Config) (Result, error) {
 	for h, eng := range hosts {
 		samples := samplers[h].Samples()
 		pool = append(pool, samples...)
+		enclaves := eng.Results()
+		resident := make([]int, len(enclaves))
+		for i := range resident {
+			resident[i] = eng.OwnerResident(i)
+		}
+		var quota []int
+		if eng.QuotaPolicy() != arbiter.Global {
+			quota = make([]int, len(enclaves))
+			for i := range quota {
+				quota[i] = eng.Quota(i)
+			}
+		}
 		res.Hosts = append(res.Hosts, HostReport{
-			Enclaves:    eng.Results(),
+			Enclaves:    enclaves,
 			EPCResident: eng.EPCResident(),
+			Resident:    resident,
+			Quota:       quota,
 			Faults:      len(samples),
 			FaultP50:    stats.Percentile(samples, 50),
 			FaultP95:    stats.Percentile(samples, 95),

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"sgxpreload/internal/epc/arbiter"
 	"sgxpreload/internal/mem"
 	"sgxpreload/internal/obs"
 	"sgxpreload/internal/sim"
@@ -399,3 +400,54 @@ type closeProbe struct {
 
 func (s closeProbe) Next() (mem.Access, bool) { return mem.Access{}, false }
 func (s closeProbe) Close()                   { s.onClose() }
+
+// TestHostReportQuota: hosts under an arbitration policy report each
+// enclave's quota and resident frames; Global hosts report nil quotas.
+// The platform's Quota flows to every host's engine unchanged.
+func TestHostReportQuota(t *testing.T) {
+	run := func(q arbiter.Policy) Result {
+		t.Helper()
+		arr := make([]Arrival, 0, 6)
+		for i, e := range enclaves(6) {
+			arr = append(arr, Arrival{At: uint64(i) * 50_000, Enclave: e})
+		}
+		res, err := Run(arr, Config{Hosts: 2, Policy: RoundRobin,
+			Platform: sim.SharedConfig{EPCPages: 64, Quota: q}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	global := run(arbiter.Global)
+	for h, hr := range global.Hosts {
+		if hr.Quota != nil {
+			t.Errorf("host %d: Global policy reported quotas %v", h, hr.Quota)
+		}
+		sum := 0
+		for _, r := range hr.Resident {
+			sum += r
+		}
+		if sum != hr.EPCResident {
+			t.Errorf("host %d: per-enclave residents sum to %d, EPCResident %d", h, sum, hr.EPCResident)
+		}
+	}
+	for _, q := range []arbiter.Policy{arbiter.Static, arbiter.Proportional, arbiter.Adaptive} {
+		res := run(q)
+		for h, hr := range res.Hosts {
+			if len(hr.Quota) != len(hr.Enclaves) || len(hr.Resident) != len(hr.Enclaves) {
+				t.Fatalf("quota %v host %d: %d quotas / %d residents for %d enclaves",
+					q, h, len(hr.Quota), len(hr.Resident), len(hr.Enclaves))
+			}
+			qsum := 0
+			for i, quota := range hr.Quota {
+				if quota < 1 {
+					t.Errorf("quota %v host %d enclave %d: quota %d below the floor", q, h, i, quota)
+				}
+				qsum += quota
+			}
+			if q != arbiter.Adaptive && qsum != 64 {
+				t.Errorf("quota %v host %d: quotas sum to %d, want 64", q, h, qsum)
+			}
+		}
+	}
+}

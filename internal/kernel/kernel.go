@@ -25,6 +25,7 @@ import (
 	"sgxpreload/internal/core"
 	"sgxpreload/internal/dfp"
 	"sgxpreload/internal/epc"
+	"sgxpreload/internal/epc/arbiter"
 	"sgxpreload/internal/mem"
 	"sgxpreload/internal/obs"
 )
@@ -74,6 +75,16 @@ type Config struct {
 	// LowWater and HighWater are the reclaimer's free-frame watermarks;
 	// zero values select EPCPages/32 and EPCPages/16.
 	LowWater, HighWater int
+	// Arbiter, when non-nil, arbitrates shared-EPC evictions between
+	// enclaves by frame quota (see package arbiter): an enclave at or
+	// over its quota evicts one of its own frames, an under-quota one
+	// steals from the most over-quota owner. Nil — the default — keeps
+	// the single global victim scan, bit-for-bit. All kernels over one
+	// shared EPC must share one arbiter.
+	Arbiter *arbiter.Arbiter
+	// Owner is this kernel's enclave index with the shared EPC and the
+	// arbiter (0 in solo runs).
+	Owner int
 	// Hook, when non-nil, receives the kernel's event timeline (faults,
 	// loads, evictions, scans, DFP-stop; see package obs). The hook is
 	// also installed on the load channel and — via a clock adapter — on
@@ -293,7 +304,7 @@ func (k *Kernel) beginLoad(page mem.PageID, start uint64, preload bool, batch ui
 		// No free frame: evict synchronously on the load path. With the
 		// background reclaimer keeping watermarks this is the fallback for
 		// bursts that outrun it.
-		victim := k.epc.SelectVictim()
+		victim := k.selectVictim()
 		if victim != mem.NoPage {
 			k.epc.Evict(victim)
 			k.stats.Evictions++
@@ -310,6 +321,26 @@ func (k *Kernel) beginLoad(page mem.PageID, start uint64, preload bool, batch ui
 		}
 	}
 	return k.ch.Begin(page, start, occ, preload, batch)
+}
+
+// selectVictim picks the next eviction victim. With no arbiter (the
+// default) it is exactly the global policy scan. With one, the arbiter
+// names whose frame goes — this enclave's own when it is at or over
+// quota, the most-over-quota owner's otherwise — and the owner-filtered
+// scan picks the frame. If the named owner has nothing resident (its
+// quota exceeds its current resident set — e.g. a quota below the
+// enclave's minimum working set left it with no frames to give), the
+// global scan decides, so an eviction always succeeds whenever any frame
+// is occupied.
+func (k *Kernel) selectVictim() mem.PageID {
+	if k.cfg.Arbiter != nil {
+		if o := k.cfg.Arbiter.VictimOwner(k.epc, k.cfg.Owner); o >= 0 {
+			if v := k.epc.SelectVictimOwned(o); v != mem.NoPage {
+				return v
+			}
+		}
+	}
+	return k.epc.SelectVictim()
 }
 
 // complete installs a finished transfer into the EPC.
@@ -335,6 +366,11 @@ func (k *Kernel) complete(ld channel.Load) {
 func (k *Kernel) HandleFault(now uint64, page mem.PageID) uint64 {
 	k.stats.DemandFaults++
 	k.stats.AEXCycles += k.cfg.Costs.AEX
+	if k.cfg.Arbiter != nil {
+		// Demand faults are half of the adaptive policy's working-set
+		// signal (the other half is the scan's access-bit count).
+		k.cfg.Arbiter.NoteFault(k.cfg.Owner)
+	}
 	if k.hook != nil {
 		k.hook.Emit(obs.Event{T: now, Kind: obs.KindFaultBegin, Page: page})
 	}
@@ -511,6 +547,7 @@ func (k *Kernel) MaybeScan(now uint64) {
 			k.hook.Emit(obs.Event{T: now, Kind: obs.KindScan,
 				V2: uint64(k.epc.Resident())})
 		}
+		k.arbiterScan(now)
 		return
 	}
 	accessed := 0
@@ -537,6 +574,36 @@ func (k *Kernel) MaybeScan(now uint64) {
 		// abandoned (the in-progress transfer still finishes — it is
 		// non-preemptible).
 		k.stats.PreloadsDropped += uint64(k.ch.AbortPending(now))
+	}
+	k.arbiterScan(now)
+}
+
+// arbiterScan feeds this enclave's access-bit count to the quota arbiter
+// at its scan boundary and, when the adaptive policy adopts a new
+// partition, emits the full quota vector in enclave-index order — the
+// deterministic rebalance trace the report and replay layers consume.
+func (k *Kernel) arbiterScan(now uint64) {
+	arb := k.cfg.Arbiter
+	if arb == nil {
+		return
+	}
+	acc, res := k.epc.OwnerScanStats(k.cfg.Owner)
+	if !arb.NoteScan(k.cfg.Owner, acc, res) {
+		return
+	}
+	k.emitQuotaVector(now)
+}
+
+// emitQuotaVector emits one KindQuotaRebalance event per enclave, in
+// index order, carrying the enclave's quota and resident count.
+func (k *Kernel) emitQuotaVector(now uint64) {
+	if k.hook == nil || k.cfg.Arbiter == nil {
+		return
+	}
+	arb := k.cfg.Arbiter
+	for i := 0; i < arb.N(); i++ {
+		k.hook.Emit(obs.Event{T: now, Kind: obs.KindQuotaRebalance, Page: mem.NoPage,
+			Batch: uint64(i), V1: uint64(arb.Quota(i)), V2: uint64(k.epc.OwnerResident(i))})
 	}
 }
 
@@ -581,7 +648,7 @@ func (k *Kernel) backgroundReclaim(now uint64) {
 	}
 	var batch uint64
 	for free < k.cfg.HighWater {
-		victim := k.epc.SelectVictim()
+		victim := k.selectVictim()
 		if victim == mem.NoPage {
 			break
 		}

@@ -200,6 +200,34 @@ func Streams(events []Event) StreamStats {
 	return s
 }
 
+// QuotaShare is one enclave's slice of an arbitrated EPC partition.
+type QuotaShare struct {
+	// Enclave is the enclave index (KindQuotaRebalance's Batch).
+	Enclave uint64
+	// Quota is the enclave's frame quota at the last rebalance (V1).
+	Quota uint64
+	// Resident is its resident frame count at that instant (V2).
+	Resident uint64
+}
+
+// QuotaShares returns the final quota partition: the last
+// KindQuotaRebalance observation per enclave, in enclave-index order.
+// Nil when no arbitrated quota policy was active (the default), so
+// reports over default traces are unchanged.
+func QuotaShares(events []Event) []QuotaShare {
+	var out []QuotaShare
+	for _, e := range events {
+		if e.Kind != KindQuotaRebalance {
+			continue
+		}
+		for uint64(len(out)) <= e.Batch {
+			out = append(out, QuotaShare{Enclave: uint64(len(out))})
+		}
+		out[e.Batch] = QuotaShare{Enclave: e.Batch, Quota: e.V1, Resident: e.V2}
+	}
+	return out
+}
+
 // DFPStopAt returns the cycle the safety valve tripped, or 0 if it
 // never fired.
 func DFPStopAt(events []Event) uint64 {
@@ -231,6 +259,9 @@ type Report struct {
 	Occupancy []Point
 	// Streams summarizes predictor stream lifecycles.
 	Streams StreamStats
+	// Quota is the final per-enclave EPC quota partition (nil unless an
+	// arbitrated quota policy emitted rebalance events).
+	Quota []QuotaShare
 	// StopCycle is the DFP-stop trip cycle (0 = never fired).
 	StopCycle uint64
 }
@@ -245,6 +276,7 @@ func BuildReport(events []Event) Report {
 		Accuracy:           AccuracySeries(events),
 		Occupancy:          OccupancySeries(events),
 		Streams:            Streams(events),
+		Quota:              QuotaShares(events),
 		StopCycle:          DFPStopAt(events),
 	}
 	for _, e := range events {
@@ -277,9 +309,10 @@ func (r Report) MarshalJSON() ([]byte, error) {
 		Accuracy           []Point           `json:"accuracy,omitempty"`
 		Occupancy          []Point           `json:"occupancy,omitempty"`
 		Streams            StreamStats       `json:"streams"`
+		Quota              []QuotaShare      `json:"quota,omitempty"`
 		StopCycle          uint64            `json:"stop_cycle"`
 	}{counts, r.Span, r.Busy, r.Utilization, r.UtilizationBuckets,
-		r.Latency, r.Accuracy, r.Occupancy, r.Streams, r.StopCycle})
+		r.Latency, r.Accuracy, r.Occupancy, r.Streams, r.Quota, r.StopCycle})
 }
 
 // String renders the report as a deterministic text block.
@@ -322,6 +355,14 @@ func (r Report) String() string {
 		fmt.Fprintf(&b, "streams:             %d started, %d extensions (mean %.2f), %d evicted, max %d hits\n",
 			r.Streams.Started, r.Streams.Hits, r.Streams.MeanHits(),
 			r.Streams.Evicted, r.Streams.MaxHits)
+	}
+	if len(r.Quota) > 0 {
+		fmt.Fprintf(&b, "EPC quota partition: %d enclaves, %d rebalance events\n",
+			len(r.Quota), r.Counts[KindQuotaRebalance])
+		for _, q := range r.Quota {
+			fmt.Fprintf(&b, "  enclave %-4d quota %-6d resident %d\n",
+				q.Enclave, q.Quota, q.Resident)
+		}
 	}
 	if r.StopCycle > 0 {
 		fmt.Fprintf(&b, "DFP-stop:            tripped at cycle %d\n", r.StopCycle)

@@ -206,3 +206,41 @@ func TestDownsampleKeepsEnds(t *testing.T) {
 		t.Fatal("n <= 0 must disable the cap")
 	}
 }
+
+func TestQuotaShares(t *testing.T) {
+	if got := QuotaShares(nil); got != nil {
+		t.Fatalf("QuotaShares(nil) = %v, want nil", got)
+	}
+	events := []Event{
+		// Admission-time vector for two enclaves, then a rebalance that
+		// shifts frames from enclave 1 to enclave 0.
+		{T: 0, Kind: KindQuotaRebalance, Page: mem.NoPage, Batch: 0, V1: 512, V2: 0},
+		{T: 0, Kind: KindQuotaRebalance, Page: mem.NoPage, Batch: 1, V1: 512, V2: 0},
+		{T: 900, Kind: KindScan, V2: 1000},
+		{T: 1000, Kind: KindQuotaRebalance, Page: mem.NoPage, Batch: 0, V1: 700, V2: 640},
+		{T: 1000, Kind: KindQuotaRebalance, Page: mem.NoPage, Batch: 1, V1: 324, V2: 360},
+	}
+	got := QuotaShares(events)
+	want := []QuotaShare{
+		{Enclave: 0, Quota: 700, Resident: 640},
+		{Enclave: 1, Quota: 324, Resident: 360},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d shares, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("share %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	r := BuildReport(events)
+	s := r.String()
+	if !strings.Contains(s, "EPC quota partition: 2 enclaves, 4 rebalance events") ||
+		!strings.Contains(s, "enclave 0    quota 700    resident 640") {
+		t.Fatalf("report missing quota section:\n%s", s)
+	}
+	// Default traces (no rebalance events) keep the section absent.
+	if strings.Contains(BuildReport(events[2:3]).String(), "quota") {
+		t.Fatal("quota section rendered without rebalance events")
+	}
+}

@@ -89,6 +89,15 @@ const (
 	// Batch = stream id; V1 = faults that extended it over its life.
 	KindStreamEnd
 
+	// KindQuotaRebalance: the EPC quota arbiter adopted a new partition.
+	// One event per enclave, emitted in enclave-index order at each
+	// rebalance (and once per enclave at admission under any non-global
+	// policy). Batch = enclave index; V1 = the enclave's new frame
+	// quota; V2 = its resident frame count at that instant. Only emitted
+	// when a non-global quota policy is active, so default traces are
+	// byte-identical to earlier schema revisions.
+	KindQuotaRebalance
+
 	kindCount // number of kinds; keep last
 )
 
@@ -101,21 +110,22 @@ func (k Kind) String() string {
 }
 
 var kindNames = [...]string{
-	KindNone:         "none",
-	KindFaultBegin:   "fault_begin",
-	KindFaultEnd:     "fault_end",
-	KindPreloadQueue: "preload_queue",
-	KindLoadStart:    "load_start",
-	KindLoadComplete: "load_complete",
-	KindPreloadAbort: "preload_abort",
-	KindEvict:        "evict",
-	KindSIPNotify:    "sip_notify",
-	KindScan:         "scan",
-	KindAccuracy:     "accuracy",
-	KindDFPStop:      "dfp_stop",
-	KindStreamStart:  "stream_start",
-	KindStreamHit:    "stream_hit",
-	KindStreamEnd:    "stream_end",
+	KindNone:           "none",
+	KindFaultBegin:     "fault_begin",
+	KindFaultEnd:       "fault_end",
+	KindPreloadQueue:   "preload_queue",
+	KindLoadStart:      "load_start",
+	KindLoadComplete:   "load_complete",
+	KindPreloadAbort:   "preload_abort",
+	KindEvict:          "evict",
+	KindSIPNotify:      "sip_notify",
+	KindScan:           "scan",
+	KindAccuracy:       "accuracy",
+	KindDFPStop:        "dfp_stop",
+	KindStreamStart:    "stream_start",
+	KindStreamHit:      "stream_hit",
+	KindStreamEnd:      "stream_end",
+	KindQuotaRebalance: "quota_rebalance",
 }
 
 // kindByName is the wire-name → Kind reverse index used by trace

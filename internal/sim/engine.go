@@ -7,8 +7,10 @@ import (
 	"sgxpreload/internal/core"
 	"sgxpreload/internal/dfp"
 	"sgxpreload/internal/epc"
+	"sgxpreload/internal/epc/arbiter"
 	"sgxpreload/internal/kernel"
 	"sgxpreload/internal/mem"
+	"sgxpreload/internal/obs"
 	"sgxpreload/internal/sip"
 )
 
@@ -48,6 +50,10 @@ type Engine struct {
 	shared *epc.EPC
 	chan0  *channel.Channel
 	total  uint64
+	// arb is the EPC quota arbiter shared by every kernel of this
+	// domain; nil under the Global policy (the default), in which case
+	// nothing about victim selection changes.
+	arb *arbiter.Arbiter
 }
 
 // enclaveState is the per-enclave execution cursor.
@@ -111,6 +117,14 @@ func newEngine(enclaves []Enclave, cfg SharedConfig) (*Engine, error) {
 		return nil, err
 	}
 	eng := &Engine{costs: cfg.Costs, cfg: cfg}
+	if cfg.Quota != arbiter.Global {
+		arb, err := arbiter.New(cfg.Quota, cfg.EPCPages)
+		if err != nil {
+			closeEnclaveStreams(enclaves)
+			return nil, err
+		}
+		eng.arb = arb
+	}
 	eng.sched.init(len(enclaves))
 	for i, e := range enclaves {
 		if err := eng.Admit(e, 0); err != nil {
@@ -166,8 +180,17 @@ func (e *Engine) Admit(enc Enclave, now uint64) error {
 	} else {
 		ch = e.chan0.Sibling()
 	}
-	st, err := buildState(enc, e.cfg, e.shared, ch, newTotal, mem.PageID(e.total))
+	st, err := buildState(enc, e.cfg, e.shared, ch, newTotal, mem.PageID(e.total), e.arb, len(e.states))
 	if err != nil {
+		return closeErr(err)
+	}
+	// Register the enclave's page range with the EPC's owner tracking —
+	// always, arbitrated or not: with quotas off the stamps are inert
+	// bookkeeping, and the reporting layers read the per-owner resident
+	// counts either way. Registration happens only after buildState
+	// succeeded, so a failed admission leaves no phantom owner range and
+	// the engine stays usable.
+	if err := e.shared.AddOwner(newTotal); err != nil {
 		return closeErr(err)
 	}
 	st.t = now
@@ -175,6 +198,21 @@ func (e *Engine) Admit(enc Enclave, now uint64) error {
 	idx := len(e.states)
 	e.states = append(e.states, st)
 	e.total = newTotal
+	if e.arb != nil {
+		// Quotas recompute over the whole cohort at every admission
+		// (static shares shrink, proportional shares re-split). Emit the
+		// new vector so arbitrated traces carry the partition from the
+		// first enclave on; with the default Global policy no arbiter
+		// exists and traces are byte-identical to earlier revisions.
+		e.arb.AddEnclave(enc.Pages)
+		if e.cfg.Hook != nil {
+			for i := 0; i < e.arb.N(); i++ {
+				e.cfg.Hook.Emit(obs.Event{T: now, Kind: obs.KindQuotaRebalance,
+					Page: mem.NoPage, Batch: uint64(i), V1: uint64(e.arb.Quota(i)),
+					V2: uint64(e.shared.OwnerResident(i))})
+			}
+		}
+	}
 	if st.has {
 		key := now + st.next.Compute
 		if key < now {
@@ -201,7 +239,7 @@ func closeEnclaveStreams(enclaves []Enclave) {
 // buildState wires one enclave: its kernel over the shared EPC and
 // channel group, and its scheme configuration. This is the only place in
 // the package where a scheme is turned into kernel machinery.
-func buildState(e Enclave, cfg SharedConfig, shared *epc.EPC, ch *channel.Channel, total uint64, base mem.PageID) (*enclaveState, error) {
+func buildState(e Enclave, cfg SharedConfig, shared *epc.EPC, ch *channel.Channel, total uint64, base mem.PageID, arb *arbiter.Arbiter, owner int) (*enclaveState, error) {
 	kcfg := kernel.Config{
 		Costs:        cfg.Costs,
 		EPCPages:     cfg.EPCPages,
@@ -211,6 +249,8 @@ func buildState(e Enclave, cfg SharedConfig, shared *epc.EPC, ch *channel.Channe
 		RangeLo:      base,
 		RangeHi:      base + mem.PageID(e.Pages),
 		Hook:         cfg.Hook,
+		Arbiter:      arb,
+		Owner:        owner,
 
 		BackgroundReclaim: e.BackgroundReclaim,
 	}
@@ -340,6 +380,28 @@ func (e *Engine) EPCResident() int {
 		return 0
 	}
 	return e.shared.Resident()
+}
+
+// QuotaPolicy returns the engine's per-enclave EPC quota policy.
+func (e *Engine) QuotaPolicy() arbiter.Policy { return e.cfg.Quota }
+
+// OwnerResident returns enclave i's resident frame count in the shared
+// EPC (0 before the enclave's first load) — maintained whether or not a
+// quota policy is active.
+func (e *Engine) OwnerResident(i int) int {
+	if e.shared == nil {
+		return 0
+	}
+	return e.shared.OwnerResident(i)
+}
+
+// Quota returns enclave i's current frame quota, or 0 when the Global
+// policy (no quotas) is active.
+func (e *Engine) Quota(i int) int {
+	if e.arb == nil {
+		return 0
+	}
+	return e.arb.Quota(i)
 }
 
 // RunUntil steps the engine while its next event is at or before t,

@@ -3,6 +3,7 @@ package sim
 import (
 	"testing"
 
+	"sgxpreload/internal/epc/arbiter"
 	"sgxpreload/internal/mem"
 )
 
@@ -53,6 +54,41 @@ func FuzzEngine(f *testing.F) {
 		if streamed != res {
 			t.Fatalf("iterator path diverges from slice path:\n  slice  %+v\n  stream %+v",
 				res, streamed)
+		}
+
+		// A two-enclave shared run under a byte-derived quota policy:
+		// the EPC's ownership invariants (per-owner resident counts sum
+		// to Resident, every frame stamped with its range's owner) must
+		// hold after every access, and conservation per enclave.
+		quota := arbiter.Policy(int(schemeSel) % 4)
+		eng, err := New([]Enclave{
+			{Name: "a", Trace: trace, Pages: pages, Scheme: scheme},
+			{Name: "b", Trace: trace, Pages: pages, Scheme: scheme},
+		}, SharedConfig{EPCPages: cfg.EPCPages, Quota: quota})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for {
+			more, err := eng.Step()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !more {
+				break
+			}
+			if err := eng.shared.CheckInvariants(); err != nil {
+				t.Fatalf("quota %v: %v", quota, err)
+			}
+		}
+		if sum := eng.OwnerResident(0) + eng.OwnerResident(1); sum != eng.EPCResident() {
+			t.Fatalf("quota %v: owner residents sum to %d, EPC holds %d",
+				quota, sum, eng.EPCResident())
+		}
+		for _, r := range eng.Results() {
+			if r.Hits+r.Kernel.DemandFaults != r.Accesses {
+				t.Fatalf("quota %v: enclave %s conservation violated: %d + %d != %d",
+					quota, r.Name, r.Hits, r.Kernel.DemandFaults, r.Accesses)
+			}
 		}
 	})
 }

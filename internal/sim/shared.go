@@ -6,6 +6,7 @@ import (
 	"sgxpreload/internal/core"
 	"sgxpreload/internal/dfp"
 	"sgxpreload/internal/epc"
+	"sgxpreload/internal/epc/arbiter"
 	"sgxpreload/internal/mem"
 	"sgxpreload/internal/obs"
 	"sgxpreload/internal/sip"
@@ -65,6 +66,14 @@ type SharedConfig struct {
 	ScanPeriod  uint64
 	MaxPending  int
 	EvictPolicy epc.Policy
+	// Quota selects the per-enclave EPC quota policy (see package
+	// arbiter). The zero value, Global, keeps the single victim scan
+	// over all frames — byte-identical to runs predating the arbiter.
+	// Under any other policy each engine (one per EPC domain) builds its
+	// own arbiter, enclaves register in admission order, and rebalances
+	// happen at scan boundaries — all on the engine's single goroutine,
+	// so quota trajectories are deterministic at any worker count.
+	Quota arbiter.Policy
 	// Hook, when non-nil, receives every enclave's event timeline (see
 	// package obs). Pages in shared-run events are global — each
 	// enclave's slice of the shared space — so the enclaves remain

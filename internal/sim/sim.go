@@ -16,6 +16,7 @@ import (
 	"sgxpreload/internal/core"
 	"sgxpreload/internal/dfp"
 	"sgxpreload/internal/epc"
+	"sgxpreload/internal/epc/arbiter"
 	"sgxpreload/internal/kernel"
 	"sgxpreload/internal/mem"
 	"sgxpreload/internal/obs"
@@ -112,6 +113,11 @@ type Config struct {
 	// EvictPolicy selects the EPC victim-selection algorithm; the zero
 	// value is the driver's CLOCK. Used by the eviction ablation.
 	EvictPolicy epc.Policy
+	// Quota selects the per-enclave EPC quota policy (see package
+	// arbiter); the zero value is Global — no quotas, today's single
+	// victim scan bit-for-bit. In a solo run a non-global policy is the
+	// degenerate one-owner partition and changes nothing.
+	Quota arbiter.Policy
 	// BackgroundReclaim enables the ksgxswapd-style watermark reclaimer
 	// (see kernel.Config); used by the reclaim ablation.
 	BackgroundReclaim bool
@@ -173,6 +179,7 @@ func (cfg Config) solo() (Enclave, SharedConfig) {
 			ScanPeriod:  cfg.ScanPeriod,
 			MaxPending:  cfg.MaxPending,
 			EvictPolicy: cfg.EvictPolicy,
+			Quota:       cfg.Quota,
 			Hook:        cfg.Hook,
 		}
 }
